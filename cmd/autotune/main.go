@@ -1,0 +1,92 @@
+// Command autotune runs the ML-based autotuning pipeline (§5.3) over a
+// fleet telemetry trace: heuristic baseline, GP-Bandit search against the
+// fast far memory model, and the qualification gate that decides whether
+// to deploy the winner.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sdfm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autotune: ")
+	var (
+		in         = flag.String("trace", "", "trace file from tracegen (empty: synthesize one)")
+		iterations = flag.Int("iterations", 15, "GP-bandit iterations")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var trace *sdfm.Trace
+	var err error
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		trace, err = sdfm.LoadTrace(f)
+		f.Close()
+	} else {
+		fmt.Println("no -trace given; synthesizing a 24h fleet trace")
+		trace, err = sdfm.GenerateFleetTrace(sdfm.FleetConfig{
+			Clusters: 4, MachinesPerCluster: 10, JobsPerMachine: 6,
+			Duration: 24 * time.Hour, Seed: *seed,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	obj := sdfm.TraceObjective(trace, sdfm.DefaultSLO)
+
+	fmt.Printf("trace: %d entries, %d jobs\n\n", trace.Len(), len(trace.Jobs()))
+
+	heur, err := sdfm.HeuristicTune(obj, sdfm.DefaultHeuristicCandidates, sdfm.DefaultSLO)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heuristic baseline: K=%.1f S=%s  coverage=%.1f%%  p98=%.4f%%/min\n",
+		heur.Best.Params.K, heur.Best.Params.S,
+		heur.Best.Result.Coverage*100, heur.Best.Result.P98Rate*100)
+
+	start := time.Now()
+	res, err := sdfm.Autotune(obj, sdfm.TunerConfig{
+		SLO: sdfm.DefaultSLO, Seed: *seed, Iterations: *iterations,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GP-bandit (%d evals, %v): K=%.1f S=%s  coverage=%.1f%%  p98=%.4f%%/min\n",
+		len(res.History), time.Since(start).Round(time.Millisecond),
+		res.Best.Params.K, res.Best.Params.S,
+		res.Best.Result.Coverage*100, res.Best.Result.P98Rate*100)
+	if heur.Best.Result.Coverage > 0 {
+		fmt.Printf("improvement over heuristic: %+.0f%%\n\n",
+			(res.Best.Result.Coverage/heur.Best.Result.Coverage-1)*100)
+	}
+
+	fmt.Println("exploration history:")
+	for i, o := range res.History {
+		mark := " "
+		if o.Params == res.Best.Params {
+			mark = "*"
+		}
+		fmt.Printf(" %s %2d  K=%5.1f S=%-10s coverage=%5.1f%%  p98=%.4f%%/min feasible=%v\n",
+			mark, i, o.Params.K, o.Params.S.Round(time.Minute),
+			o.Result.Coverage*100, o.Result.P98Rate*100, o.Feasible)
+	}
+
+	dec, err := sdfm.QualifyAndDeploy(res.Best.Params, heur.Best.Params, obj, sdfm.DefaultSLO)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeployment: accepted=%v chosen=K=%.1f,S=%s (%s)\n",
+		dec.Accepted, dec.Chosen.K, dec.Chosen.S, dec.Reason)
+}

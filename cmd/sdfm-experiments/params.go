@@ -1,0 +1,5 @@
+package main
+
+import "sdfm/internal/core"
+
+func coreParams() core.Params { return core.Params{K: 95, S: core.DefaultParams.S} }

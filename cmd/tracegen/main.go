@@ -1,0 +1,90 @@
+// Command tracegen synthesizes a warehouse-scale far-memory telemetry
+// trace (the §5.3 schema: per-job working set, cold-age and promotion
+// tails every 5 minutes) and writes it to a file for offline analysis
+// with the autotune tool or the fast far memory model.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sdfm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		out      = flag.String("o", "fleet.trace", "output file")
+		clusters = flag.Int("clusters", 4, "number of clusters")
+		machines = flag.Int("machines", 20, "machines per cluster")
+		jobs     = flag.Int("jobs", 6, "job slots per machine")
+		hours    = flag.Float64("hours", 48, "trace duration in hours")
+		seed     = flag.Int64("seed", 1, "random seed")
+		format   = flag.String("format", "gob", "output format: gob (compact, loadable) or json (interoperable)")
+		stats    = flag.Bool("stats", false, "print trace statistics instead of writing a file")
+	)
+	flag.Parse()
+
+	trace, err := sdfm.GenerateFleetTrace(sdfm.FleetConfig{
+		Clusters:           *clusters,
+		MachinesPerCluster: *machines,
+		JobsPerMachine:     *jobs,
+		Duration:           time.Duration(*hours * float64(time.Hour)),
+		Seed:               *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		printStats(trace)
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	switch *format {
+	case "gob":
+		err = trace.Save(f)
+	case "json":
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		err = enc.Encode(trace)
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%s): %d entries, %d jobs, %d clusters x %d machines, %.0f h\n",
+		*out, *format, trace.Len(), len(trace.Jobs()), *clusters, *machines, *hours)
+}
+
+// printStats summarizes a trace the way the fleet characterization (§2.2)
+// would: entry counts, per-archetype job counts, and the fleet cold curve
+// anchor points.
+func printStats(trace *sdfm.Trace) {
+	fmt.Printf("entries: %d  jobs: %d  thresholds: %d  scan period: %ds\n",
+		trace.Len(), len(trace.Jobs()), len(trace.Thresholds), trace.ScanPeriodSeconds)
+	var coldAtMin, total float64
+	for _, e := range trace.Entries {
+		coldAtMin += float64(e.ColdTails[0])
+		total += float64(e.TotalPages)
+	}
+	if total > 0 {
+		fmt.Printf("fleet cold fraction @120s: %.1f%%\n", 100*coldAtMin/total)
+	}
+	byMachine := map[string]int{}
+	for _, k := range trace.Jobs() {
+		byMachine[k.Cluster]++
+	}
+	for c, n := range byMachine {
+		fmt.Printf("  %s: %d jobs\n", c, n)
+	}
+}

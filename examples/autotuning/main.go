@@ -1,0 +1,103 @@
+// Autotuning walkthrough (paper §5.3).
+//
+// The example reproduces the paper's tuning pipeline end to end:
+//
+//  1. synthesize a two-day fleet telemetry trace,
+//
+//  2. evaluate the conservative hand-tuned candidates (the pre-ML
+//     baseline, months of A/B testing compressed into three evaluations),
+//
+//  3. run the GP-Bandit loop against the fast far memory model,
+//
+//  4. qualify the winner on a holdout slice and decide deploy/rollback.
+//
+//     go run ./examples/autotuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sdfm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("generating a 2-day fleet trace (3 clusters x 10 machines x 6 job slots)...")
+	trace, err := sdfm.GenerateFleetTrace(sdfm.FleetConfig{
+		Clusters: 3, MachinesPerCluster: 10, JobsPerMachine: 6,
+		Duration: 48 * time.Hour, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train on day 1, qualify on day 2 — the staged deployment of §5.3.
+	day1 := splitTrace(trace, 0, 24*time.Hour)
+	day2 := splitTrace(trace, 24*time.Hour, 48*time.Hour)
+	train := sdfm.TraceObjective(day1, sdfm.DefaultSLO)
+	holdout := sdfm.TraceObjective(day2, sdfm.DefaultSLO)
+
+	heur, err := sdfm.HeuristicTune(train, sdfm.DefaultHeuristicCandidates, sdfm.DefaultSLO)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheuristic baseline (educated guesses):\n")
+	for _, o := range heur.History {
+		fmt.Printf("  K=%5.1f S=%-8s -> coverage %5.1f%%  p98 %.4f%%/min  feasible=%v\n",
+			o.Params.K, o.Params.S, o.Result.Coverage*100, o.Result.P98Rate*100, o.Feasible)
+	}
+	fmt.Printf("  winner: K=%.1f S=%s with %.1f%% coverage\n",
+		heur.Best.Params.K, heur.Best.Params.S, heur.Best.Result.Coverage*100)
+
+	fmt.Println("\nGP-Bandit exploration (fast model as oracle):")
+	start := time.Now()
+	res, err := sdfm.Autotune(train, sdfm.TunerConfig{
+		SLO: sdfm.DefaultSLO, Seed: 11, Iterations: 15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, o := range res.History {
+		mark := "  "
+		if o.Params == res.Best.Params {
+			mark = "->"
+		}
+		fmt.Printf(" %s %2d K=%5.1f S=%-8s coverage %5.1f%%  p98 %.4f%%/min  feasible=%v\n",
+			mark, i, o.Params.K, o.Params.S.Round(time.Minute),
+			o.Result.Coverage*100, o.Result.P98Rate*100, o.Feasible)
+	}
+	fmt.Printf("explored %d configurations in %v\n",
+		len(res.History), time.Since(start).Round(time.Millisecond))
+	if heur.Best.Result.Coverage > 0 {
+		fmt.Printf("coverage improvement over heuristic: %+.0f%% (paper: ~+30%%)\n",
+			(res.Best.Result.Coverage/heur.Best.Result.Coverage-1)*100)
+	}
+
+	dec, err := sdfm.QualifyAndDeploy(res.Best.Params, heur.Best.Params, holdout, sdfm.DefaultSLO)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nqualification on holdout day: %s\n", dec.Reason)
+	if dec.Accepted {
+		fmt.Printf("deployed: K=%.1f S=%s\n", dec.Chosen.K, dec.Chosen.S)
+	} else {
+		fmt.Printf("rolled back to incumbent: K=%.1f S=%s\n", dec.Chosen.K, dec.Chosen.S)
+	}
+}
+
+func splitTrace(t *sdfm.Trace, from, to time.Duration) *sdfm.Trace {
+	out := &sdfm.Trace{
+		ScanPeriodSeconds: t.ScanPeriodSeconds,
+		Thresholds:        append([]int(nil), t.Thresholds...),
+	}
+	fromSec, toSec := int64(from/time.Second), int64(to/time.Second)
+	for _, e := range t.Entries {
+		if e.TimestampSec >= fromSec && e.TimestampSec < toSec {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module sdfm
+
+go 1.22

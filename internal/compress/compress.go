@@ -1,0 +1,223 @@
+// Package compress implements the fast LZ77-family byte compressor the
+// far-memory system uses to compress cold pages, plus the latency cost
+// model used to account CPU cycles for compression and decompression.
+//
+// The paper uses lzo inside the kernel, chosen after comparing lzo, lz4,
+// and snappy for the best trade-off between speed and ratio. This package
+// implements the same family of algorithm from scratch: a greedy
+// hash-chain LZ77 with byte-aligned token encoding (literal runs + back
+// references), tuned for 4 KiB pages. The exact bitstream differs from
+// lzo's, but the compression-ratio behaviour by data class — the property
+// the evaluation depends on — is equivalent.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch  = 4
+	hashLog   = 13
+	hashSize  = 1 << hashLog
+	maxOffset = 65535
+)
+
+// ErrCorrupt is returned by Decompress when the input is not a valid
+// compressed block.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+// CompressBound returns the maximum compressed size for an input of n
+// bytes (the worst case is all literals plus token overhead).
+func CompressBound(n int) int {
+	return n + n/255 + 16
+}
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - hashLog)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// Compress compresses src and appends the result to dst, returning the
+// extended slice. An empty src compresses to an empty block.
+//
+// Block format (all lengths byte-aligned, offsets little-endian):
+//
+//	token: high nibble = literal run length (15 => extension bytes follow),
+//	       low nibble  = match length - 4   (15 => extension bytes follow)
+//	[literal length extension: 255* + remainder]
+//	literals
+//	[2-byte offset, match length extension]   -- absent in the final sequence
+//
+// The final sequence of a block carries only literals; the decoder detects
+// it by input exhaustion after the literal run.
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	var table [hashSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+
+	s := 0      // scan position
+	anchor := 0 // start of pending literal run
+	// Leave room so load32 at s and the match extension never read past
+	// the buffer.
+	sLimit := len(src) - minMatch
+
+	for s <= sLimit {
+		h := hash4(load32(src, s))
+		cand := int(table[h])
+		table[h] = int32(s)
+		if cand < 0 || s-cand > maxOffset || load32(src, cand) != load32(src, s) {
+			s++
+			continue
+		}
+		// Extend the match backwards over pending literals.
+		for s > anchor && cand > 0 && src[s-1] == src[cand-1] {
+			s--
+			cand--
+		}
+		// Extend forwards.
+		matchLen := minMatch
+		for s+matchLen < len(src) && src[cand+matchLen] == src[s+matchLen] {
+			matchLen++
+		}
+		dst = emitSequence(dst, src[anchor:s], matchLen, s-cand)
+		s += matchLen
+		anchor = s
+		// Re-prime the table inside the match so long runs keep matching.
+		if s-2 > 0 && s-2 <= sLimit {
+			table[hash4(load32(src, s-2))] = int32(s - 2)
+		}
+	}
+	// Final literals-only sequence.
+	return emitSequence(dst, src[anchor:], 0, 0)
+}
+
+func emitSequence(dst, literals []byte, matchLen, offset int) []byte {
+	litLen := len(literals)
+	var token byte
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	ml := 0
+	if matchLen > 0 {
+		ml = matchLen - minMatch
+		if ml >= 15 {
+			token |= 15
+		} else {
+			token |= byte(ml)
+		}
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	if matchLen > 0 {
+		dst = append(dst, byte(offset), byte(offset>>8))
+		if ml >= 15 {
+			dst = appendLenExt(dst, ml-15)
+		}
+	}
+	return dst
+}
+
+func appendLenExt(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// Decompress decompresses src, appending the output to dst. maxLen bounds
+// the decompressed size (a malformed block claiming more output fails with
+// ErrCorrupt rather than allocating unboundedly).
+func Decompress(dst, src []byte, maxLen int) ([]byte, error) {
+	base := len(dst)
+	i := 0
+	for i < len(src) {
+		token := src[i]
+		i++
+		// Literal run.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			n, ni, err := readLenExt(src, i)
+			if err != nil {
+				return dst, err
+			}
+			litLen += n
+			i = ni
+		}
+		if i+litLen > len(src) {
+			return dst, fmt.Errorf("%w: literal run past end", ErrCorrupt)
+		}
+		if len(dst)-base+litLen > maxLen {
+			return dst, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxLen)
+		}
+		dst = append(dst, src[i:i+litLen]...)
+		i += litLen
+		if i == len(src) {
+			return dst, nil // final sequence
+		}
+		// Back reference.
+		if i+2 > len(src) {
+			return dst, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		offset := int(src[i]) | int(src[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(dst)-base {
+			return dst, fmt.Errorf("%w: offset %d out of window", ErrCorrupt, offset)
+		}
+		matchLen := int(token&0xF) + minMatch
+		if token&0xF == 15 {
+			n, ni, err := readLenExt(src, i)
+			if err != nil {
+				return dst, err
+			}
+			matchLen += n
+			i = ni
+		}
+		if len(dst)-base+matchLen > maxLen {
+			return dst, fmt.Errorf("%w: output exceeds limit %d", ErrCorrupt, maxLen)
+		}
+		// Byte-by-byte copy: matches may overlap their own output.
+		pos := len(dst) - offset
+		for k := 0; k < matchLen; k++ {
+			dst = append(dst, dst[pos+k])
+		}
+	}
+	return dst, nil
+}
+
+func readLenExt(src []byte, i int) (n, next int, err error) {
+	for {
+		if i >= len(src) {
+			return 0, 0, fmt.Errorf("%w: truncated length extension", ErrCorrupt)
+		}
+		b := src[i]
+		i++
+		n += int(b)
+		if b != 255 {
+			return n, i, nil
+		}
+	}
+}
+
+// Ratio returns the compression ratio originalSize/compressedSize, the
+// quantity Figure 9a of the paper reports (3x median across jobs).
+func Ratio(originalSize, compressedSize int) float64 {
+	if compressedSize <= 0 {
+		return 0
+	}
+	return float64(originalSize) / float64(compressedSize)
+}

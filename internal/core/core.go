@@ -1,0 +1,281 @@
+// Package core implements the paper's primary contribution: the cold-page
+// identification mechanism (§4) — a well-defined performance SLO for far
+// memory, the promotion-rate math that connects it to per-job histograms,
+// and the control algorithm that picks each job's cold-age threshold.
+//
+// The algorithm (§4.3):
+//
+//  1. Every control interval, compute the *best* cold-age threshold for
+//     the interval just past: the smallest T whose promotion rate would
+//     have stayed within the SLO.
+//  2. Keep a pool of these per-interval best thresholds and use their
+//     K-th percentile as the threshold for the next interval — under
+//     steady state the SLO is violated roughly (100-K)% of the time.
+//  3. If the last interval's best threshold is higher than that
+//     percentile (a sudden activity spike), use it instead.
+//  4. zswap stays disabled for the first S seconds of a job's execution,
+//     when there is no history to decide from.
+//
+// K and S are the tunables the ML autotuner (internal/tuner) optimizes.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdfm/internal/histogram"
+)
+
+// SLO is the far-memory performance service-level objective (§4.2): the
+// promotion rate must stay below TargetRatePerMin (a fraction of the
+// job's working set size) per minute.
+type SLO struct {
+	// TargetRatePerMin is P in the paper: the maximum fraction of the
+	// working set that may be promoted from far memory per minute.
+	TargetRatePerMin float64
+	// MinThreshold is the lowest cold-age threshold the system supports;
+	// it also defines the working set (pages accessed within it).
+	MinThreshold time.Duration
+}
+
+// DefaultSLO is the production setting: P = 0.2%/min with a 120 s minimum
+// threshold, determined by months-long A/B testing at scale.
+var DefaultSLO = SLO{
+	TargetRatePerMin: 0.002,
+	MinThreshold:     histogram.DefaultScanPeriod,
+}
+
+// Validate checks the SLO for internal consistency.
+func (s SLO) Validate() error {
+	if s.TargetRatePerMin <= 0 {
+		return fmt.Errorf("core: non-positive target promotion rate %v", s.TargetRatePerMin)
+	}
+	if s.MinThreshold <= 0 {
+		return fmt.Errorf("core: non-positive minimum threshold %v", s.MinThreshold)
+	}
+	return nil
+}
+
+// Params are the control-plane tunables the autotuner searches over.
+type Params struct {
+	// K is the percentile (0-100) of the best-threshold pool used as the
+	// operating threshold. Higher K is more conservative.
+	K float64
+	// S is how long after job start zswap stays disabled.
+	S time.Duration
+}
+
+// DefaultParams is the hand-tuned configuration from the paper's initial
+// roll-out (stage A-B in Figure 5), chosen from a limited set of
+// small-scale experiments before the autotuner existed.
+var DefaultParams = Params{K: 98, S: 20 * time.Minute}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	if p.K < 0 || p.K > 100 {
+		return fmt.Errorf("core: K percentile %v outside [0, 100]", p.K)
+	}
+	if p.S < 0 {
+		return fmt.Errorf("core: negative warmup %v", p.S)
+	}
+	return nil
+}
+
+// BestThreshold returns the smallest cold-age bucket whose promotion rate
+// over the past interval would have met the SLO.
+//
+// promoInterval is the promotion histogram restricted to the interval
+// (counts of accesses by page age-at-access), wssPages the job's working
+// set in pages, and intervalMinutes the interval length. The search floor
+// is the bucket of slo.MinThreshold (nothing hotter than the minimum
+// threshold is ever considered cold). If even the coldest bucket violates
+// the SLO, histogram.MaxBucket is returned: the controller then
+// effectively compresses only the very coldest tail.
+func BestThreshold(promoInterval *histogram.Histogram, wssPages uint64, intervalMinutes float64, slo SLO) int {
+	if intervalMinutes <= 0 {
+		panic(fmt.Sprintf("core: non-positive interval %v", intervalMinutes))
+	}
+	limit := slo.TargetRatePerMin * float64(wssPages) // promotions/min allowed
+	tails := promoInterval.TailSums()
+	minBucket := promoInterval.BucketFor(slo.MinThreshold)
+	if minBucket < 1 {
+		minBucket = 1 // age 0 pages are by definition not cold
+	}
+	for b := minBucket; b < histogram.NumBuckets; b++ {
+		rate := float64(tails[b]) / intervalMinutes
+		if rate <= limit {
+			return b
+		}
+	}
+	return histogram.MaxBucket
+}
+
+// PromotionRate returns the promotions/min a threshold bucket would have
+// produced over the interval, normalized to the working set (the SLI of
+// §4.2, in fraction-of-WSS/min).
+func PromotionRate(promoInterval *histogram.Histogram, bucket int, wssPages uint64, intervalMinutes float64) float64 {
+	if wssPages == 0 || intervalMinutes <= 0 {
+		return 0
+	}
+	return float64(promoInterval.TailSum(bucket)) / intervalMinutes / float64(wssPages)
+}
+
+// WorkingSetPages derives the working set from a cold-age census: the
+// pages accessed within the minimum cold-age threshold (§4.2).
+func WorkingSetPages(coldCensus *histogram.Histogram, slo SLO) uint64 {
+	cold := coldCensus.ColdAtThreshold(slo.MinThreshold)
+	total := coldCensus.Total()
+	if cold > total {
+		return 0
+	}
+	return total - cold
+}
+
+// Controller runs the §4.3 threshold-control algorithm for one job. The
+// zero value is not usable; construct with NewController.
+type Controller struct {
+	slo     SLO
+	params  Params
+	history int
+
+	pool     []uint8 // per-interval best thresholds, ring buffer
+	poolPos  int
+	poolFull bool
+	lastBest int
+	started  time.Duration // job start time
+	haveObs  bool
+
+	scratch []uint8 // sorted copy reused across Threshold calls
+}
+
+// ControllerConfig configures a Controller.
+type ControllerConfig struct {
+	SLO    SLO
+	Params Params
+	// HistoryLen bounds the best-threshold pool (number of past control
+	// intervals remembered). Zero means DefaultHistoryLen.
+	HistoryLen int
+	// JobStart is the simulated time the job began executing; the
+	// controller disables zswap until JobStart+Params.S.
+	JobStart time.Duration
+}
+
+// DefaultHistoryLen remembers one day of one-minute intervals.
+const DefaultHistoryLen = 1440
+
+// NewController creates a controller for one job.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if err := cfg.SLO.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	h := cfg.HistoryLen
+	if h == 0 {
+		h = DefaultHistoryLen
+	}
+	if h < 0 {
+		return nil, fmt.Errorf("core: negative history length %d", h)
+	}
+	return &Controller{
+		slo:      cfg.SLO,
+		params:   cfg.Params,
+		history:  h,
+		pool:     make([]uint8, h),
+		started:  cfg.JobStart,
+		lastBest: histogram.MaxBucket,
+	}, nil
+}
+
+// SLO returns the controller's SLO.
+func (c *Controller) SLO() SLO { return c.slo }
+
+// Params returns the current tunables.
+func (c *Controller) Params() Params { return c.params }
+
+// SetParams swaps tunables in place (a parameter deployment); history is
+// preserved, matching a production config push that does not restart jobs.
+func (c *Controller) SetParams(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.params = p
+	return nil
+}
+
+// Observe records the best threshold computed for the interval that just
+// ended.
+func (c *Controller) Observe(bestBucket int) {
+	if bestBucket < 0 || bestBucket > histogram.MaxBucket {
+		panic(fmt.Sprintf("core: best bucket %d out of range", bestBucket))
+	}
+	c.pool[c.poolPos] = uint8(bestBucket)
+	c.poolPos++
+	if c.poolPos == len(c.pool) {
+		c.poolPos = 0
+		c.poolFull = true
+	}
+	c.lastBest = bestBucket
+	c.haveObs = true
+}
+
+// ObserveInterval is the full per-interval control step: derive the best
+// threshold from the interval's promotion histogram and working set, and
+// record it.
+func (c *Controller) ObserveInterval(promoInterval *histogram.Histogram, wssPages uint64, intervalMinutes float64) int {
+	best := BestThreshold(promoInterval, wssPages, intervalMinutes, c.slo)
+	c.Observe(best)
+	return best
+}
+
+// Enabled reports whether zswap is active for this job at time now
+// (disabled during the first S seconds of execution, §4.3).
+func (c *Controller) Enabled(now time.Duration) bool {
+	return now >= c.started+c.params.S
+}
+
+// Threshold returns the cold-age bucket to use for the next interval:
+// max(K-th percentile of the pool, last interval's best). Before any
+// observation it returns histogram.MaxBucket (compress nothing).
+func (c *Controller) Threshold() int {
+	if !c.haveObs {
+		return histogram.MaxBucket
+	}
+	n := c.poolPos
+	if c.poolFull {
+		n = len(c.pool)
+	}
+	if cap(c.scratch) < n {
+		c.scratch = make([]uint8, n)
+	}
+	s := c.scratch[:n]
+	if c.poolFull {
+		copy(s, c.pool)
+	} else {
+		copy(s, c.pool[:n])
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Nearest-rank percentile.
+	rank := int(c.params.K / 100 * float64(n-1))
+	kth := int(s[rank])
+	if c.lastBest > kth {
+		return c.lastBest
+	}
+	return kth
+}
+
+// ThresholdDuration converts the current threshold bucket to an age
+// duration given the histogram scan period.
+func (c *Controller) ThresholdDuration(scanPeriod time.Duration) time.Duration {
+	return time.Duration(c.Threshold()) * scanPeriod
+}
+
+// PoolLen reports how many observations the pool currently holds.
+func (c *Controller) PoolLen() int {
+	if c.poolFull {
+		return len(c.pool)
+	}
+	return c.poolPos
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdfm/internal/histogram"
+)
+
+func promoHist(counts map[int]uint64) *histogram.Histogram {
+	h := histogram.New(histogram.DefaultScanPeriod)
+	for b, n := range counts {
+		h.Add(b, n)
+	}
+	return h
+}
+
+func TestSLOValidate(t *testing.T) {
+	if err := DefaultSLO.Validate(); err != nil {
+		t.Fatalf("DefaultSLO invalid: %v", err)
+	}
+	if (SLO{TargetRatePerMin: 0, MinThreshold: time.Minute}).Validate() == nil {
+		t.Error("zero target accepted")
+	}
+	if (SLO{TargetRatePerMin: 0.01, MinThreshold: 0}).Validate() == nil {
+		t.Error("zero min threshold accepted")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams.Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	if (Params{K: -1}).Validate() == nil {
+		t.Error("negative K accepted")
+	}
+	if (Params{K: 101}).Validate() == nil {
+		t.Error("K > 100 accepted")
+	}
+	if (Params{K: 50, S: -time.Second}).Validate() == nil {
+		t.Error("negative S accepted")
+	}
+}
+
+func TestBestThresholdPaperExample(t *testing.T) {
+	// The §4.3 example: pages A and B idle 5 and 10 minutes, both accessed
+	// one minute ago. Promotion histogram: one access at age 5 min
+	// (bucket 2, since 5 min = 2.5 scan periods) and one at age 10 min
+	// (bucket 5). Under T = 8 min (bucket 4) there is 1 promotion/min;
+	// under T = 2 min (bucket 1), 2 promotions/min.
+	h := promoHist(map[int]uint64{2: 1, 5: 1})
+	if got := h.TailSum(4); got != 1 {
+		t.Errorf("promotions under T=8min = %d, want 1", got)
+	}
+	if got := h.TailSum(1); got != 2 {
+		t.Errorf("promotions under T=2min = %d, want 2", got)
+	}
+	// SLO allowing 1 promotion/min with WSS 500 pages at 0.2%/min:
+	// limit = 1/min, so the best threshold is the smallest bucket with
+	// tail <= 1, which is bucket 3 (tail: b1=2, b2=2, b3=1).
+	slo := SLO{TargetRatePerMin: 0.002, MinThreshold: histogram.DefaultScanPeriod}
+	if got := BestThreshold(h, 500, 1, slo); got != 3 {
+		t.Errorf("BestThreshold = %d, want 3", got)
+	}
+}
+
+func TestBestThresholdAllQuiet(t *testing.T) {
+	// No promotions at all: the minimum threshold is immediately feasible.
+	h := promoHist(nil)
+	if got := BestThreshold(h, 1000, 1, DefaultSLO); got != 1 {
+		t.Errorf("BestThreshold with no promotions = %d, want 1 (120s)", got)
+	}
+}
+
+func TestBestThresholdNeverBelowMinimum(t *testing.T) {
+	// Even with promotions only at age 0, the threshold floor is the
+	// minimum threshold bucket.
+	h := promoHist(map[int]uint64{0: 1000000})
+	if got := BestThreshold(h, 10, 1, DefaultSLO); got != 1 {
+		t.Errorf("BestThreshold = %d, want 1", got)
+	}
+}
+
+func TestBestThresholdInfeasible(t *testing.T) {
+	// Heavy promotions even at the coldest ages: returns MaxBucket.
+	h := promoHist(map[int]uint64{histogram.MaxBucket: 1000000})
+	if got := BestThreshold(h, 10, 1, DefaultSLO); got != histogram.MaxBucket {
+		t.Errorf("BestThreshold = %d, want MaxBucket", got)
+	}
+}
+
+func TestBestThresholdScalesWithWSS(t *testing.T) {
+	// Bigger jobs tolerate more absolute promotions (§4.2 normalization).
+	h := promoHist(map[int]uint64{3: 60})
+	small := BestThreshold(h, 1000, 1, DefaultSLO)    // limit 2/min
+	big := BestThreshold(h, 1_000_000, 1, DefaultSLO) // limit 2000/min
+	if small <= big {
+		t.Errorf("small job threshold %d should exceed big job threshold %d", small, big)
+	}
+	if big != 1 {
+		t.Errorf("big job threshold = %d, want 1", big)
+	}
+}
+
+func TestBestThresholdIntervalNormalization(t *testing.T) {
+	// The same histogram over a longer interval means a lower rate.
+	h := promoHist(map[int]uint64{2: 10})
+	oneMin := BestThreshold(h, 1000, 1, DefaultSLO)
+	fiveMin := BestThreshold(h, 1000, 5, DefaultSLO)
+	if fiveMin > oneMin {
+		t.Errorf("5-min interval threshold %d should be <= 1-min %d", fiveMin, oneMin)
+	}
+}
+
+func TestBestThresholdMonotoneInSLOQuick(t *testing.T) {
+	// Property: a stricter SLO (smaller P) never yields a lower threshold.
+	f := func(raw []uint16, wss uint16) bool {
+		h := histogram.New(histogram.DefaultScanPeriod)
+		for _, v := range raw {
+			h.Add(int(v)%histogram.NumBuckets, uint64(v%13))
+		}
+		w := uint64(wss) + 1
+		loose := SLO{TargetRatePerMin: 0.01, MinThreshold: histogram.DefaultScanPeriod}
+		tight := SLO{TargetRatePerMin: 0.0001, MinThreshold: histogram.DefaultScanPeriod}
+		return BestThreshold(h, w, 1, tight) >= BestThreshold(h, w, 1, loose)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPromotionRate(t *testing.T) {
+	h := promoHist(map[int]uint64{4: 50})
+	if got := PromotionRate(h, 4, 1000, 1); got != 0.05 {
+		t.Errorf("PromotionRate = %v, want 0.05", got)
+	}
+	if got := PromotionRate(h, 5, 1000, 1); got != 0 {
+		t.Errorf("PromotionRate above all ages = %v, want 0", got)
+	}
+	if got := PromotionRate(h, 4, 0, 1); got != 0 {
+		t.Errorf("PromotionRate with zero WSS = %v, want 0", got)
+	}
+	// Over 5 minutes the rate divides by 5.
+	if got := PromotionRate(h, 4, 1000, 5); got != 0.01 {
+		t.Errorf("PromotionRate over 5 min = %v, want 0.01", got)
+	}
+}
+
+func TestWorkingSetPages(t *testing.T) {
+	census := histogram.New(histogram.DefaultScanPeriod)
+	census.Add(0, 700) // accessed within 120s
+	census.Add(1, 200)
+	census.Add(10, 100)
+	if got := WorkingSetPages(census, DefaultSLO); got != 700 {
+		t.Errorf("WorkingSetPages = %d, want 700", got)
+	}
+}
+
+func newCtrl(t *testing.T, p Params) *Controller {
+	t.Helper()
+	c, err := NewController(ControllerConfig{SLO: DefaultSLO, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllerNoObservations(t *testing.T) {
+	c := newCtrl(t, DefaultParams)
+	if got := c.Threshold(); got != histogram.MaxBucket {
+		t.Errorf("Threshold with no history = %d, want MaxBucket", got)
+	}
+	if c.PoolLen() != 0 {
+		t.Errorf("PoolLen = %d", c.PoolLen())
+	}
+}
+
+func TestControllerPercentileSelection(t *testing.T) {
+	c := newCtrl(t, Params{K: 90, S: 0})
+	// Best thresholds 1..100; then a final quiet interval (best = 1) so
+	// the spike rule does not override the percentile.
+	for b := 1; b <= 100; b++ {
+		c.Observe(b)
+	}
+	c.Observe(1)
+	got := c.Threshold()
+	// 90th percentile of {1..100, 1} is ~91.
+	if got < 85 || got > 95 {
+		t.Errorf("Threshold = %d, want ~91", got)
+	}
+}
+
+func TestControllerConservativeK(t *testing.T) {
+	// Higher K -> higher (more conservative) threshold.
+	lo := newCtrl(t, Params{K: 50, S: 0})
+	hi := newCtrl(t, Params{K: 99, S: 0})
+	for b := 1; b <= 100; b++ {
+		lo.Observe(b)
+		hi.Observe(b)
+	}
+	lo.Observe(1)
+	hi.Observe(1)
+	if lo.Threshold() >= hi.Threshold() {
+		t.Errorf("K=50 threshold %d should be below K=99 threshold %d", lo.Threshold(), hi.Threshold())
+	}
+}
+
+func TestControllerSpikeResponse(t *testing.T) {
+	// A sudden activity spike (high last-interval best) must override the
+	// percentile immediately (§4.3 bullet 2).
+	c := newCtrl(t, Params{K: 50, S: 0})
+	for i := 0; i < 100; i++ {
+		c.Observe(2)
+	}
+	c.Observe(200)
+	if got := c.Threshold(); got != 200 {
+		t.Errorf("Threshold after spike = %d, want 200", got)
+	}
+	// Once calm returns, the percentile resumes.
+	c.Observe(2)
+	if got := c.Threshold(); got > 10 {
+		t.Errorf("Threshold after spike passed = %d, want ~2", got)
+	}
+}
+
+func TestControllerWarmup(t *testing.T) {
+	c, err := NewController(ControllerConfig{
+		SLO:      DefaultSLO,
+		Params:   Params{K: 98, S: 10 * time.Minute},
+		JobStart: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled(time.Hour + 5*time.Minute) {
+		t.Error("enabled during warmup")
+	}
+	if !c.Enabled(time.Hour + 10*time.Minute) {
+		t.Error("disabled after warmup")
+	}
+}
+
+func TestControllerRingBuffer(t *testing.T) {
+	c, err := NewController(ControllerConfig{
+		SLO: DefaultSLO, Params: Params{K: 100, S: 0}, HistoryLen: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill with high values, then overwrite with low ones: old history
+	// must age out.
+	for i := 0; i < 10; i++ {
+		c.Observe(250)
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(3)
+	}
+	if got := c.Threshold(); got != 3 {
+		t.Errorf("Threshold = %d, want 3 after ring wrap", got)
+	}
+	if c.PoolLen() != 10 {
+		t.Errorf("PoolLen = %d, want 10", c.PoolLen())
+	}
+}
+
+func TestControllerObserveInterval(t *testing.T) {
+	c := newCtrl(t, Params{K: 98, S: 0})
+	h := promoHist(map[int]uint64{2: 1, 5: 1})
+	best := c.ObserveInterval(h, 500, 1)
+	if best != 3 {
+		t.Errorf("ObserveInterval best = %d, want 3", best)
+	}
+	if c.Threshold() != 3 {
+		t.Errorf("Threshold = %d", c.Threshold())
+	}
+}
+
+func TestControllerSetParams(t *testing.T) {
+	c := newCtrl(t, DefaultParams)
+	if err := c.SetParams(Params{K: 80, S: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Params().K != 80 {
+		t.Error("params not updated")
+	}
+	if err := c.SetParams(Params{K: 500}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestControllerObserveOutOfRangePanics(t *testing.T) {
+	c := newCtrl(t, DefaultParams)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe(256) did not panic")
+		}
+	}()
+	c.Observe(256)
+}
+
+func TestControllerThresholdDuration(t *testing.T) {
+	c := newCtrl(t, Params{K: 100, S: 0})
+	c.Observe(5)
+	if got := c.ThresholdDuration(histogram.DefaultScanPeriod); got != 5*120*time.Second {
+		t.Errorf("ThresholdDuration = %v", got)
+	}
+}
+
+func TestControllerSLOViolationFrequency(t *testing.T) {
+	// Statistical property from §4.3: with K-th percentile selection, the
+	// SLO is violated roughly (100-K)% of intervals at steady state.
+	// Feed i.i.d. best thresholds and count intervals where the operating
+	// threshold (chosen before the interval) was below the interval's
+	// best (i.e. too aggressive -> violation).
+	c := newCtrl(t, Params{K: 90, S: 0})
+	seq := make([]int, 0, 2000)
+	// Deterministic pseudo-random sequence of best thresholds 1..100.
+	x := uint64(12345)
+	for i := 0; i < 2000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		seq = append(seq, int(x%100)+1)
+	}
+	violations := 0
+	for i, best := range seq {
+		if i > 100 { // let the pool warm up
+			if c.Threshold() < best {
+				violations++
+			}
+		}
+		c.Observe(best)
+	}
+	rate := float64(violations) / float64(len(seq)-101)
+	if rate > 0.15 {
+		t.Errorf("violation rate %.3f, want <= ~0.10 for K=90", rate)
+	}
+	if rate == 0 {
+		t.Error("violation rate 0; expected occasional violations at K=90")
+	}
+}

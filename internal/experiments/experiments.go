@@ -1,0 +1,95 @@
+// Package experiments contains one runner per table/figure of the paper's
+// evaluation (§2.2, §6). Each runner builds its workload, executes the
+// relevant pipeline (statistical fleet traces through the fast model for
+// fleet-scale figures; the page-accurate machine simulator for
+// machine-scale figures), and returns the same rows or series the paper
+// plots, with a Render method that prints them.
+//
+// The per-experiment index in DESIGN.md maps each figure to its runner
+// and benchmark target.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sdfm/internal/fleet"
+)
+
+// Scale presets the size of an experiment.
+type Scale int
+
+const (
+	// ScaleSmall finishes in roughly a second; used by benchmarks.
+	ScaleSmall Scale = iota
+	// ScaleMedium is the cmd-line default (tens of seconds).
+	ScaleMedium
+	// ScaleLarge approximates a long fleet study (minutes).
+	ScaleLarge
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleLarge:
+		return "large"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// FleetConfig returns the fleet-trace configuration for a scale.
+func FleetConfig(scale Scale, seed int64) fleet.Config {
+	switch scale {
+	case ScaleMedium:
+		return fleet.Config{
+			Clusters: 10, MachinesPerCluster: 20, JobsPerMachine: 6,
+			Duration: 48 * time.Hour, Seed: seed,
+		}
+	case ScaleLarge:
+		return fleet.Config{
+			Clusters: 10, MachinesPerCluster: 60, JobsPerMachine: 8,
+			Duration: 7 * 24 * time.Hour, Seed: seed,
+		}
+	default:
+		return fleet.Config{
+			Clusters: 4, MachinesPerCluster: 8, JobsPerMachine: 5,
+			Duration: 24 * time.Hour, Seed: seed,
+		}
+	}
+}
+
+// table renders rows with a header as an aligned text table.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sdfm/internal/core"
+	"sdfm/internal/fleet"
+	"sdfm/internal/kstaled"
+	"sdfm/internal/mem"
+	"sdfm/internal/model"
+	"sdfm/internal/tco"
+)
+
+// H1Result is the headline TCO computation (§6.1).
+type H1Result struct {
+	ColdFraction     float64
+	Coverage         float64
+	CompressionRatio float64
+	SavingsFraction  float64
+	SavingsUSD       float64
+}
+
+// H1TCOSavings reproduces the 4-5% DRAM TCO headline: measure the cold
+// ceiling and achievable coverage from a fleet trace, combine with the
+// measured compression characteristics.
+func H1TCOSavings(scale Scale, seed int64, compressionRatio float64) (H1Result, error) {
+	trace, err := fleet.Generate(FleetConfig(scale, seed))
+	if err != nil {
+		return H1Result{}, err
+	}
+	curve := fleet.ColdCurve(trace)
+	coldFraction := curve[0].ColdFraction
+	res, err := model.Run(trace, model.Config{Params: core.Params{K: 95, S: core.DefaultParams.S}, SLO: core.DefaultSLO})
+	if err != nil {
+		return H1Result{}, err
+	}
+	out := H1Result{
+		ColdFraction:     coldFraction,
+		Coverage:         res.Coverage,
+		CompressionRatio: compressionRatio,
+	}
+	out.SavingsFraction = tco.SavingsFraction(coldFraction, res.Coverage, compressionRatio)
+	out.SavingsUSD = tco.DefaultModel.Savings(coldFraction, res.Coverage, compressionRatio)
+	return out, nil
+}
+
+// Render prints the arithmetic.
+func (r H1Result) Render() string {
+	return fmt.Sprintf("TCO: %s => $%.1fM/fleet\n",
+		tco.Report(r.ColdFraction, r.Coverage, r.CompressionRatio), r.SavingsUSD/1e6)
+}
+
+// A3Result is the kstaled CPU budget check (§5.1).
+type A3Result struct {
+	MachineGiB   []int
+	OverheadFrac []float64
+}
+
+// A3KstaledOverhead reproduces the scanner CPU budget across machine
+// sizes: the paper reports < 11% of one logical core at the 120 s scan
+// period.
+func A3KstaledOverhead() A3Result {
+	var res A3Result
+	for _, gibs := range []int{64, 128, 256, 512} {
+		pages := gibs << 30 / mem.PageSize
+		res.MachineGiB = append(res.MachineGiB, gibs)
+		res.OverheadFrac = append(res.OverheadFrac,
+			kstaled.OverheadOfOneCore(pages, kstaled.DefaultCostPerPage, kstaled.DefaultScanPeriod))
+	}
+	return res
+}
+
+// Render prints the budget table.
+func (r A3Result) Render() string {
+	rows := make([][]string, len(r.MachineGiB))
+	for i := range r.MachineGiB {
+		rows[i] = []string{
+			fmt.Sprintf("%d GiB", r.MachineGiB[i]),
+			fmt.Sprintf("%.1f%% of one core", r.OverheadFrac[i]*100),
+		}
+	}
+	return "kstaled scan overhead at 120 s period\n" + table([]string{"machine", "overhead"}, rows)
+}

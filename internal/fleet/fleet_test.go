@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/model"
+	"sdfm/internal/stats"
+	"sdfm/internal/telemetry"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Clusters:           2,
+		MachinesPerCluster: 6,
+		JobsPerMachine:     4,
+		Duration:           12 * time.Hour,
+		Seed:               seed,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	tr, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	jobs := tr.Jobs()
+	// 2 clusters x 6 machines x 4 slots = 48 slots; churny slots split
+	// into multiple instances, so at least 48 jobs.
+	if len(jobs) < 48 {
+		t.Errorf("jobs = %d, want >= 48", len(jobs))
+	}
+	// Every entry already validated by Append; spot-check shapes.
+	e := tr.Entries[0]
+	if e.WSSPages == 0 || e.TotalPages == 0 {
+		t.Errorf("degenerate entry: %+v", e)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Entries {
+		ea, eb := a.Entries[i], b.Entries[i]
+		if ea.Key != eb.Key || ea.WSSPages != eb.WSSPages || ea.ColdTails[0] != eb.ColdTails[0] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	c, err := Generate(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == a.Len() && c.Entries[0].ColdTails[0] == a.Entries[0].ColdTails[0] {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.Duration = time.Minute // shorter than the 5-minute interval
+	if _, err := Generate(cfg); err == nil {
+		t.Error("bad duration accepted")
+	}
+}
+
+func TestColdCurveMatchesPaperShape(t *testing.T) {
+	// Figure 1: at T = 120 s roughly a third of fleet memory is cold and
+	// ~15% of cold memory is accessed per minute; both fall as T grows.
+	cfg := Config{
+		Clusters: 3, MachinesPerCluster: 10, JobsPerMachine: 6,
+		Duration: 24 * time.Hour, Seed: 3,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := ColdCurve(tr)
+	if len(curve) != len(tr.Thresholds) {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	first := curve[0]
+	if first.ThresholdSeconds != 120 {
+		t.Fatalf("first threshold = %v s", first.ThresholdSeconds)
+	}
+	if first.ColdFraction < 0.20 || first.ColdFraction > 0.45 {
+		t.Errorf("cold fraction at 120 s = %.3f, want ~0.32", first.ColdFraction)
+	}
+	if first.PromotionsPerMinPerColdByte < 0.05 || first.PromotionsPerMinPerColdByte > 0.35 {
+		t.Errorf("cold access rate at 120 s = %.3f/min, want ~0.15", first.PromotionsPerMinPerColdByte)
+	}
+	// Both series decrease with the threshold.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].ColdFraction > curve[i-1].ColdFraction+1e-9 {
+			t.Errorf("cold fraction not decreasing at %v s", curve[i].ThresholdSeconds)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.ColdFraction >= first.ColdFraction/1.5 {
+		t.Errorf("cold fraction barely decays: %.3f -> %.3f", first.ColdFraction, last.ColdFraction)
+	}
+	if last.PromotionsPerMinPerColdByte >= first.PromotionsPerMinPerColdByte {
+		t.Errorf("promotion rate does not decay with threshold")
+	}
+}
+
+func TestMachineColdFractionSpread(t *testing.T) {
+	// Figure 2: wide per-machine variation, even within a cluster.
+	cfg := Config{
+		Clusters: 2, MachinesPerCluster: 40, JobsPerMachine: 4,
+		Duration: 12 * time.Hour, Seed: 5,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMachine := MachineColdFractions(tr)
+	if len(byMachine) != 80 {
+		t.Fatalf("machines = %d, want 80", len(byMachine))
+	}
+	var vals []float64
+	for _, v := range byMachine {
+		vals = append(vals, v)
+	}
+	s := stats.Summarize(vals)
+	if s.Max-s.Min < 0.2 {
+		t.Errorf("per-machine cold spread = [%.2f, %.2f]; want a wide range", s.Min, s.Max)
+	}
+	if s.Min < 0 || s.Max > 1 {
+		t.Errorf("cold fractions out of [0,1]: [%v, %v]", s.Min, s.Max)
+	}
+}
+
+func TestJobColdFractionDeciles(t *testing.T) {
+	// Figure 3: top decile of jobs >= ~43% cold, bottom decile < ~9%.
+	cfg := Config{
+		Clusters: 2, MachinesPerCluster: 25, JobsPerMachine: 6,
+		Duration: 12 * time.Hour, Seed: 11,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byJob := JobColdFractions(tr)
+	var vals []float64
+	for _, v := range byJob {
+		vals = append(vals, v)
+	}
+	if len(vals) < 200 {
+		t.Fatalf("only %d jobs", len(vals))
+	}
+	p90 := stats.Percentile(vals, 90)
+	p10 := stats.Percentile(vals, 10)
+	if p90 < 0.35 {
+		t.Errorf("p90 job cold fraction = %.2f, want >= 0.35 (paper: 0.43)", p90)
+	}
+	if p10 > 0.15 {
+		t.Errorf("p10 job cold fraction = %.2f, want <= 0.15 (paper: 0.09)", p10)
+	}
+}
+
+func TestChurnProducesMultipleInstances(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.ChurnFraction = 1.0 // every slot churns
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 slots over 12 h with 1-8 h lifetimes must yield > 48 instances.
+	if got := len(tr.Jobs()); got <= 48 {
+		t.Errorf("instances = %d, want > 48 with full churn", got)
+	}
+}
+
+func TestTraceReplaysThroughModel(t *testing.T) {
+	// End-to-end: the generated trace must replay cleanly through the
+	// fast model with sane outputs, and conservative K must not produce
+	// more cold memory than aggressive K.
+	tr, err := Generate(Config{
+		Clusters: 1, MachinesPerCluster: 10, JobsPerMachine: 6,
+		Duration: 24 * time.Hour, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k float64) model.FleetResult {
+		res, err := model.Run(tr, model.Config{
+			Params: core.Params{K: k, S: 10 * time.Minute},
+			SLO:    core.DefaultSLO,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	aggressive := run(60)
+	conservative := run(99)
+	if aggressive.Coverage <= 0 || aggressive.Coverage > 1 {
+		t.Errorf("coverage = %.3f", aggressive.Coverage)
+	}
+	if conservative.ColdBytes > aggressive.ColdBytes {
+		t.Errorf("K=99 cold %.3g should not exceed K=60 cold %.3g",
+			conservative.ColdBytes, aggressive.ColdBytes)
+	}
+	if conservative.P98Rate > aggressive.P98Rate+1e-9 {
+		t.Errorf("K=99 p98 rate %.5f should be <= K=60 %.5f",
+			conservative.P98Rate, aggressive.P98Rate)
+	}
+}
+
+func TestSweepsLiftDeepColdPromotions(t *testing.T) {
+	// Batch-analytics sweeps are modelled as a continuous touch process
+	// at trace granularity: promotions to very cold pages must be
+	// distinctly higher than for a log-processing fleet whose cold tail
+	// is essentially never re-read.
+	gen := func(name string) *telemetry.Trace {
+		tr, err := Generate(Config{
+			Clusters: 1, MachinesPerCluster: 6, JobsPerMachine: 4,
+			Duration: 10 * time.Hour, Seed: 17,
+			Weights: map[string]float64{name: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	deepRate := func(tr *telemetry.Trace) float64 {
+		idx := tr.ThresholdIndexFor(96) // ~3.2 h
+		var promos, cold float64
+		for _, e := range tr.Entries {
+			promos += float64(e.PromoTails[idx]) / e.IntervalMinutes
+			cold += float64(e.ColdTails[idx])
+		}
+		if cold == 0 {
+			return 0
+		}
+		return promos / cold
+	}
+	batch := deepRate(gen("batch-analytics"))
+	logs := deepRate(gen("log-processor"))
+	if batch <= logs*2 {
+		t.Errorf("deep-cold access rate: batch %.6f should be well above logs %.6f", batch, logs)
+	}
+	if batch == 0 {
+		t.Error("sweeps produce no deep-cold promotions")
+	}
+}
+
+func TestCompressibleFracSet(t *testing.T) {
+	tr, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Entries[:10] {
+		if e.CompressibleFrac <= 0.5 || e.CompressibleFrac >= 1 {
+			t.Errorf("entry %s CompressibleFrac = %v, want in (0.5, 1)", e.Key, e.CompressibleFrac)
+		}
+	}
+}
+
+func TestMachineKeyGrouping(t *testing.T) {
+	tr := telemetry.NewTrace()
+	n := len(tr.Thresholds)
+	mk := func(cluster, machine, job string, cold uint64) telemetry.Entry {
+		tails := make([]uint64, n)
+		promo := make([]uint64, n)
+		for i := range tails {
+			tails[i] = cold
+		}
+		return telemetry.Entry{
+			Key:             telemetry.JobKey{Cluster: cluster, Machine: machine, Job: job},
+			TimestampSec:    300,
+			IntervalMinutes: 5,
+			WSSPages:        10, TotalPages: 100,
+			ColdTails: tails, PromoTails: promo,
+		}
+	}
+	tr.Append(mk("c", "m1", "a", 30))
+	tr.Append(mk("c", "m1", "b", 50))
+	tr.Append(mk("c", "m2", "a", 10))
+	byMachine := MachineColdFractions(tr)
+	if got := byMachine[MachineKey{"c", "m1"}]; got != 0.4 {
+		t.Errorf("m1 cold fraction = %v, want 0.4", got)
+	}
+	if got := byMachine[MachineKey{"c", "m2"}]; got != 0.1 {
+		t.Errorf("m2 cold fraction = %v, want 0.1", got)
+	}
+}

@@ -1,0 +1,217 @@
+// Package histogram implements the two per-job histograms at the heart of
+// the paper's cold-page identification mechanism (§4.3–4.4, §5.1):
+//
+//   - the cold-age histogram, which for each cold-age threshold T records
+//     how many pages have not been accessed for at least T seconds, and
+//   - the promotion histogram, which records the age a page had reached at
+//     the moment it was accessed again (i.e. the promotions that *would*
+//     have happened under every possible threshold).
+//
+// Ages are tracked in scan-period quanta. The production system stores an
+// 8-bit age in struct page and scans every 120 s, so ages saturate at
+// 255 × 120 s ≈ 8.5 h; this package mirrors that exactly.
+package histogram
+
+import (
+	"fmt"
+	"time"
+)
+
+// NumBuckets is the number of age buckets, matching the kernel's 8-bit
+// per-page age field.
+const NumBuckets = 256
+
+// MaxBucket is the saturating age bucket.
+const MaxBucket = NumBuckets - 1
+
+// DefaultScanPeriod is the production kstaled scan period; it is also the
+// minimum cold-age threshold the system supports (§4.2).
+const DefaultScanPeriod = 120 * time.Second
+
+// Histogram is a fixed-shape histogram over the 8-bit page-age space.
+// Bucket i covers ages in [i, i+1) scan periods; bucket MaxBucket is
+// saturating. The zero value is unusable; construct with New so the scan
+// period is always set.
+type Histogram struct {
+	scanPeriod time.Duration
+	counts     [NumBuckets]uint64
+	total      uint64
+}
+
+// New returns an empty histogram whose age quantum is scanPeriod.
+func New(scanPeriod time.Duration) *Histogram {
+	if scanPeriod <= 0 {
+		panic(fmt.Sprintf("histogram: non-positive scan period %v", scanPeriod))
+	}
+	return &Histogram{scanPeriod: scanPeriod}
+}
+
+// ScanPeriod returns the age quantum of this histogram.
+func (h *Histogram) ScanPeriod() time.Duration { return h.scanPeriod }
+
+// BucketFor maps an age duration to its bucket index, saturating at
+// MaxBucket. Negative ages map to bucket 0.
+func (h *Histogram) BucketFor(age time.Duration) int {
+	if age <= 0 {
+		return 0
+	}
+	b := int(age / h.scanPeriod)
+	if b > MaxBucket {
+		return MaxBucket
+	}
+	return b
+}
+
+// ThresholdFor returns the age at the lower edge of bucket b.
+func (h *Histogram) ThresholdFor(b int) time.Duration {
+	if b < 0 || b >= NumBuckets {
+		panic(fmt.Sprintf("histogram: bucket %d out of range", b))
+	}
+	return time.Duration(b) * h.scanPeriod
+}
+
+// Add increments bucket b by n.
+func (h *Histogram) Add(b int, n uint64) {
+	if b < 0 || b >= NumBuckets {
+		panic(fmt.Sprintf("histogram: bucket %d out of range", b))
+	}
+	h.counts[b] += n
+	h.total += n
+}
+
+// AddAge increments the bucket covering age by n.
+func (h *Histogram) AddAge(age time.Duration, n uint64) {
+	h.Add(h.BucketFor(age), n)
+}
+
+// Count returns the count in bucket b.
+func (h *Histogram) Count(b int) uint64 {
+	if b < 0 || b >= NumBuckets {
+		panic(fmt.Sprintf("histogram: bucket %d out of range", b))
+	}
+	return h.counts[b]
+}
+
+// Total returns the sum over all buckets.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// TailSum returns the sum of counts in buckets [b, NumBuckets).
+//
+// For a cold-age histogram keyed by current page age, TailSum(BucketFor(T))
+// is the number of pages that have been idle for at least T. For a
+// promotion histogram keyed by age-at-access, it is the number of accesses
+// that would have been promotions under threshold T.
+func (h *Histogram) TailSum(b int) uint64 {
+	if b < 0 {
+		b = 0
+	}
+	var s uint64
+	for i := b; i < NumBuckets; i++ {
+		s += h.counts[i]
+	}
+	return s
+}
+
+// TailSums returns the full suffix-sum array: out[i] = TailSum(i). It is
+// the representation the fast far-memory model replays, because it answers
+// "cold bytes / promotions under threshold T" in O(1) per query.
+func (h *Histogram) TailSums() [NumBuckets]uint64 {
+	var out [NumBuckets]uint64
+	var s uint64
+	for i := NumBuckets - 1; i >= 0; i-- {
+		s += h.counts[i]
+		out[i] = s
+	}
+	return out
+}
+
+// ColdAtThreshold returns TailSum at the bucket covering threshold T.
+func (h *Histogram) ColdAtThreshold(t time.Duration) uint64 {
+	return h.TailSum(h.BucketFor(t))
+}
+
+// Merge adds every bucket of other into h. The scan periods must match.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if other.scanPeriod != h.scanPeriod {
+		panic(fmt.Sprintf("histogram: merging scan period %v into %v", other.scanPeriod, h.scanPeriod))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+}
+
+// Sub returns a new histogram holding h - other per bucket. It panics if
+// any bucket of other exceeds h's (deltas of monotonically accumulating
+// counters can never be negative) or if scan periods differ. The node
+// agent uses Sub to extract the last control interval's promotions from
+// the kernel's cumulative histogram.
+func (h *Histogram) Sub(other *Histogram) *Histogram {
+	out := New(h.scanPeriod)
+	if other == nil {
+		out.SetCounts(h.counts)
+		return out
+	}
+	if other.scanPeriod != h.scanPeriod {
+		panic(fmt.Sprintf("histogram: subtracting scan period %v from %v", other.scanPeriod, h.scanPeriod))
+	}
+	var counts [NumBuckets]uint64
+	for i := range h.counts {
+		if other.counts[i] > h.counts[i] {
+			panic(fmt.Sprintf("histogram: bucket %d would go negative (%d - %d)", i, h.counts[i], other.counts[i]))
+		}
+		counts[i] = h.counts[i] - other.counts[i]
+	}
+	out.SetCounts(counts)
+	return out
+}
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	h.counts = [NumBuckets]uint64{}
+	h.total = 0
+}
+
+// Clone returns a deep copy of h.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	return &c
+}
+
+// Counts returns a copy of the raw bucket counts.
+func (h *Histogram) Counts() [NumBuckets]uint64 { return h.counts }
+
+// SetCounts replaces the bucket counts wholesale (used when decoding
+// telemetry records).
+func (h *Histogram) SetCounts(counts [NumBuckets]uint64) {
+	h.counts = counts
+	h.total = 0
+	for _, c := range counts {
+		h.total += c
+	}
+}
+
+// Snapshot is the wire representation of a histogram, exported by the node
+// agent into the telemetry store every aggregation interval.
+type Snapshot struct {
+	ScanPeriodSeconds int64
+	Counts            [NumBuckets]uint64
+}
+
+// Snapshot captures the histogram for serialization.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		ScanPeriodSeconds: int64(h.scanPeriod / time.Second),
+		Counts:            h.counts,
+	}
+}
+
+// FromSnapshot reconstructs a histogram from its wire form.
+func FromSnapshot(s Snapshot) *Histogram {
+	h := New(time.Duration(s.ScanPeriodSeconds) * time.Second)
+	h.SetCounts(s.Counts)
+	return h
+}

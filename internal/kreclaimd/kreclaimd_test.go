@@ -1,0 +1,161 @@
+package kreclaimd
+
+import (
+	"testing"
+
+	"sdfm/internal/mem"
+	"sdfm/internal/pagedata"
+	"sdfm/internal/zswap"
+)
+
+func newJob(pages int, mix pagedata.Mix) *mem.Memcg {
+	return mem.NewMemcg(mem.Config{Name: "job", Pages: pages, Mix: mix, SeedBase: 11})
+}
+
+func ageAll(m *mem.Memcg, age uint8) {
+	m.ForEachPage(func(_ mem.PageID, p *mem.Page) { p.Age = age })
+}
+
+func TestReclaimColdRespectsThreshold(t *testing.T) {
+	m := newJob(100, pagedata.NewMix(0, 1, 0, 0, 0))
+	pool := zswap.NewPool()
+	r := New(pool)
+	// Half the pages at age 10, half at age 2.
+	m.ForEachPage(func(id mem.PageID, p *mem.Page) {
+		if id%2 == 0 {
+			p.Age = 10
+		} else {
+			p.Age = 2
+		}
+	})
+	res := r.ReclaimCold(m, 5)
+	if res.Scanned != 100 {
+		t.Errorf("Scanned = %d", res.Scanned)
+	}
+	if res.Stored != 50 {
+		t.Errorf("Stored = %d, want 50", res.Stored)
+	}
+	if m.Compressed() != 50 {
+		t.Errorf("Compressed = %d", m.Compressed())
+	}
+	// Pages below the threshold stay resident.
+	if m.Page(1).Has(mem.FlagCompressed) {
+		t.Error("hot page was compressed")
+	}
+	if res.CPUTime <= 0 {
+		t.Error("no CPU charged")
+	}
+	if res.StoredBytes == 0 {
+		t.Error("no bytes recorded")
+	}
+}
+
+func TestReclaimColdSkipsAccessedAndIneligible(t *testing.T) {
+	m := newJob(4, pagedata.NewMix(0, 1, 0, 0, 0))
+	r := New(zswap.NewPool())
+	ageAll(m, 50)
+	m.Page(0).Set(mem.FlagAccessed)
+	m.Page(1).Set(mem.FlagMlocked)
+	m.Page(2).Set(mem.FlagUnevictable)
+	res := r.ReclaimCold(m, 5)
+	if res.Stored != 1 {
+		t.Errorf("Stored = %d, want 1 (only page 3)", res.Stored)
+	}
+	if !m.Page(3).Has(mem.FlagCompressed) {
+		t.Error("eligible page not compressed")
+	}
+}
+
+func TestReclaimColdCountsRejects(t *testing.T) {
+	m := newJob(20, pagedata.NewMix(0, 0, 0, 0, 1)) // all incompressible
+	r := New(zswap.NewPool())
+	ageAll(m, 100)
+	res := r.ReclaimCold(m, 5)
+	if res.Rejected != 20 || res.Stored != 0 {
+		t.Errorf("Rejected=%d Stored=%d, want 20/0", res.Rejected, res.Stored)
+	}
+	// A second pass must skip the now-marked pages entirely.
+	res2 := r.ReclaimCold(m, 5)
+	if res2.Eligible != 0 {
+		t.Errorf("second pass eligible = %d, want 0 (incompressible mark sticky)", res2.Eligible)
+	}
+}
+
+func TestReclaimColdPoolFull(t *testing.T) {
+	m := newJob(200, pagedata.NewMix(0, 1, 0, 0, 0))
+	pool := zswap.NewPool(zswap.WithCapacity(16384)) // one zspage
+	r := New(pool)
+	ageAll(m, 100)
+	res := r.ReclaimCold(m, 5)
+	if res.PoolFull == 0 {
+		t.Error("full pool never reported")
+	}
+	if res.Stored == 0 {
+		t.Error("nothing stored before pool filled")
+	}
+}
+
+func TestReclaimColdIdempotent(t *testing.T) {
+	m := newJob(50, pagedata.NewMix(0, 1, 1, 1, 0))
+	r := New(zswap.NewPool())
+	ageAll(m, 100)
+	first := r.ReclaimCold(m, 5)
+	second := r.ReclaimCold(m, 5)
+	if second.Stored != 0 || second.Eligible != 0 {
+		t.Errorf("second pass stored %d (eligible %d); compressed pages must be skipped", second.Stored, second.Eligible)
+	}
+	if first.Stored+first.Rejected != 50 {
+		t.Errorf("first pass covered %d pages, want 50", first.Stored+first.Rejected)
+	}
+}
+
+func TestReclaimUnderPressureColdestFirst(t *testing.T) {
+	m := newJob(100, pagedata.NewMix(0, 1, 0, 0, 0))
+	r := New(zswap.NewPool())
+	// Ages 0..99 (page i has age i%256).
+	m.ForEachPage(func(id mem.PageID, p *mem.Page) { p.Age = uint8(id) })
+	res := r.ReclaimUnderPressure(m, 10*mem.PageSize)
+	if res.Stored != 10 {
+		t.Fatalf("Stored = %d, want 10", res.Stored)
+	}
+	// The 10 coldest pages (ages 90..99) must be the ones compressed.
+	for id := 90; id < 100; id++ {
+		if !m.Page(mem.PageID(id)).Has(mem.FlagCompressed) {
+			t.Errorf("coldest page %d not compressed", id)
+		}
+	}
+	for id := 0; id < 90; id++ {
+		if m.Page(mem.PageID(id)).Has(mem.FlagCompressed) {
+			t.Errorf("hot page %d compressed by pressure reclaim", id)
+		}
+	}
+}
+
+func TestReclaimUnderPressureStopsAtTarget(t *testing.T) {
+	m := newJob(50, pagedata.NewMix(0, 1, 0, 0, 0))
+	r := New(zswap.NewPool())
+	ageAll(m, 200)
+	res := r.ReclaimUnderPressure(m, 3*mem.PageSize)
+	if res.Stored != 3 {
+		t.Errorf("Stored = %d, want 3", res.Stored)
+	}
+}
+
+func TestReclaimUnderPressureIgnoresSLO(t *testing.T) {
+	// The reactive baseline compresses even age-0 (hot) pages if needed:
+	// that unboundedness is exactly the paper's critique.
+	m := newJob(10, pagedata.NewMix(0, 1, 0, 0, 0))
+	r := New(zswap.NewPool())
+	// All pages hot (age 0).
+	res := r.ReclaimUnderPressure(m, 5*mem.PageSize)
+	if res.Stored != 5 {
+		t.Errorf("Stored = %d, want 5 (reactive mode has no coldness floor)", res.Stored)
+	}
+}
+
+func TestTierAccessor(t *testing.T) {
+	pool := zswap.NewPool()
+	if New(pool).Tier() != pool {
+		t.Error("Tier() mismatch")
+	}
+}

@@ -1,0 +1,160 @@
+// Package kstaled implements the page-age scanner daemon (§5.1).
+//
+// kstaled periodically walks a job's pages, reading and clearing the MMU
+// accessed bit to maintain an 8-bit age per page (in scan periods). On
+// every scan it rebuilds the job's cold-age census (how many pages have
+// been idle for each age) and appends to the job's cumulative promotion
+// histogram (the age each page had reached when it was accessed again).
+// The node agent consumes both to run the threshold controller.
+package kstaled
+
+import (
+	"time"
+
+	"sdfm/internal/histogram"
+	"sdfm/internal/mem"
+)
+
+// DefaultScanPeriod matches the production configuration: 120 s, tuned to
+// keep kstaled under ~11% of one logical core.
+const DefaultScanPeriod = histogram.DefaultScanPeriod
+
+// DefaultCostPerPage is the modelled CPU cost of examining one page's PTEs
+// during a scan (page-table walk plus accessed-bit clear and TLB
+// considerations on Haswell-class hardware).
+const DefaultCostPerPage = 150 * time.Nanosecond
+
+// Tracker maintains age state and histograms for one memcg.
+type Tracker struct {
+	m           *mem.Memcg
+	scanPeriod  time.Duration
+	costPerPage time.Duration
+
+	promotions *histogram.Histogram // cumulative age-at-access counts
+	census     *histogram.Histogram // age distribution as of the last scan
+	scans      uint64
+	cpu        time.Duration
+}
+
+// Config configures a Tracker.
+type Config struct {
+	ScanPeriod  time.Duration // zero means DefaultScanPeriod
+	CostPerPage time.Duration // zero means DefaultCostPerPage
+}
+
+// NewTracker creates a tracker for m. The initial census reflects the
+// memcg's starting state (all pages age 0).
+func NewTracker(m *mem.Memcg, cfg Config) *Tracker {
+	if cfg.ScanPeriod == 0 {
+		cfg.ScanPeriod = DefaultScanPeriod
+	}
+	if cfg.CostPerPage == 0 {
+		cfg.CostPerPage = DefaultCostPerPage
+	}
+	t := &Tracker{
+		m:           m,
+		scanPeriod:  cfg.ScanPeriod,
+		costPerPage: cfg.CostPerPage,
+		promotions:  histogram.New(cfg.ScanPeriod),
+		census:      histogram.New(cfg.ScanPeriod),
+	}
+	t.census.Add(0, uint64(m.NumPages()))
+	return t
+}
+
+// Memcg returns the tracked memcg.
+func (t *Tracker) Memcg() *mem.Memcg { return t.m }
+
+// ScanPeriod returns the scan period (the age quantum).
+func (t *Tracker) ScanPeriod() time.Duration { return t.scanPeriod }
+
+// Scan performs one kstaled pass over the memcg:
+//
+//   - a resident page with the accessed bit set contributes its
+//     age-at-access to the promotion histogram, then resets to age 0 with
+//     the bit cleared;
+//   - a resident page with the bit clear ages by one period (saturating);
+//   - a compressed page ages by one period; it has no PTEs, so the bit is
+//     never set (faults promote it before any access completes).
+//
+// The cold-age census is rebuilt from the post-scan ages.
+func (t *Tracker) Scan() {
+	t.census.Reset()
+	t.m.ForEachPage(func(_ mem.PageID, p *mem.Page) {
+		switch {
+		case p.Has(mem.FlagCompressed):
+			if p.Age < mem.MaxAge {
+				p.Age++
+			}
+		case p.Has(mem.FlagAccessed):
+			t.promotions.Add(int(p.Age), 1)
+			p.Age = 0
+			p.Clear(mem.FlagAccessed)
+		default:
+			if p.Age < mem.MaxAge {
+				p.Age++
+			}
+		}
+		t.census.Add(int(p.Age), 1)
+	})
+	t.scans++
+	t.cpu += time.Duration(t.m.NumPages()) * t.costPerPage
+}
+
+// RecordPromotionFault accounts an actual promotion (a fault on a
+// compressed page) in the promotion histogram at the page's current age.
+// The node layer calls this before zswap.Load resets the page.
+func (t *Tracker) RecordPromotionFault(p *mem.Page) {
+	t.promotions.Add(int(p.Age), 1)
+}
+
+// Census returns the age census from the last scan. The caller must not
+// retain the pointer across scans (Scan rebuilds it in place); clone if
+// needed.
+func (t *Tracker) Census() *histogram.Histogram { return t.census }
+
+// Promotions returns the cumulative promotion histogram. Callers diff
+// snapshots of it to obtain per-interval promotion counts.
+func (t *Tracker) Promotions() *histogram.Histogram { return t.promotions }
+
+// Scans returns the number of completed scans.
+func (t *Tracker) Scans() uint64 { return t.scans }
+
+// CPUTime returns the total modelled scanner CPU time.
+func (t *Tracker) CPUTime() time.Duration { return t.cpu }
+
+// OverheadOfOneCore returns the scanner's modelled utilization of a single
+// logical core: the fraction of wall time spent scanning, given pages are
+// scanned once per period. The paper reports < 11% for production
+// machines.
+func OverheadOfOneCore(pages int, costPerPage, scanPeriod time.Duration) float64 {
+	if scanPeriod <= 0 {
+		return 0
+	}
+	return float64(time.Duration(pages)*costPerPage) / float64(scanPeriod)
+}
+
+// DefaultCPUBudget is the scanner's CPU budget as a fraction of one
+// logical core (the paper's "less than 11%").
+const DefaultCPUBudget = 0.11
+
+// RecommendScanPeriod returns the shortest scan period that keeps the
+// scanner within budgetFrac of one core for a machine of the given page
+// count, clamped to [minPeriod, maxPeriod]. This is the §5.1 trade-off —
+// finer-grained access information versus CPU — expressed as a policy:
+// small machines can afford faster scans; very large machines must slow
+// down to stay inside the budget.
+func RecommendScanPeriod(pages int, budgetFrac float64, costPerPage, minPeriod, maxPeriod time.Duration) time.Duration {
+	if budgetFrac <= 0 || pages <= 0 {
+		return maxPeriod
+	}
+	scanTime := time.Duration(pages) * costPerPage
+	period := time.Duration(float64(scanTime) / budgetFrac)
+	if period < minPeriod {
+		return minPeriod
+	}
+	if period > maxPeriod {
+		return maxPeriod
+	}
+	return period
+}

@@ -1,0 +1,203 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0,1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestAtSetClone(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("At/Set broken")
+	}
+	c := m.Clone()
+	c.Set(1, 2, 9)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	vals := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	for i, row := range vals {
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	got := m.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestMulVecDimMismatchPanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dim mismatch")
+		}
+	}()
+	m.MulVec([]float64{1, 2})
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,12,-16],[12,37,-43],[-16,-43,98]] has L = [[2,0,0],[6,1,0],[-8,5,3]].
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 0, 0}, {6, 1, 0}, {-8, 5, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if !almost(l.At(i, j), want[i][j], 1e-9) {
+				t.Errorf("L[%d][%d] = %v, want %v", i, j, l.At(i, j), want[i][j])
+			}
+		}
+	}
+	if !almost(LogDetFromCholesky(l), math.Log(36), 1e-9) {
+		t.Errorf("logdet = %v, want log(36)", LogDetFromCholesky(l))
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := Cholesky(a); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+	b := NewMatrix(2, 3)
+	if _, err := Cholesky(b); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+// randomSPD builds A = Bᵀ·B + n·I, guaranteed SPD.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(k, i) * b.At(k, j)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	return a
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CholeskySolve(l, b)
+		for i := range x {
+			if !almost(got[i], x[i], 1e-7) {
+				t.Fatalf("trial %d: solve[%d] = %v, want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstructsQuick(t *testing.T) {
+	// Property: L·Lᵀ == A for random SPD A.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k <= min(i, j); k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if !almost(s, a.At(i, j), 1e-6*(1+math.Abs(a.At(i, j)))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLowerUpper(t *testing.T) {
+	l := NewMatrix(2, 2)
+	l.Set(0, 0, 2)
+	l.Set(1, 0, 1)
+	l.Set(1, 1, 3)
+	y := SolveLower(l, []float64{4, 7})
+	if !almost(y[0], 2, 1e-12) || !almost(y[1], 5.0/3, 1e-12) {
+		t.Errorf("SolveLower = %v", y)
+	}
+	x := SolveUpperT(l, []float64{2, 3})
+	// Lᵀ = [[2,1],[0,3]]; x2 = 1, x1 = (2-1)/2 = 0.5
+	if !almost(x[1], 1, 1e-12) || !almost(x[0], 0.5, 1e-12) {
+		t.Errorf("SolveUpperT = %v", x)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot dim mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,264 @@
+// Package mem models the kernel-visible memory state the far-memory
+// control plane operates on: physical pages with accessed/dirty bits and
+// an 8-bit age, grouped into per-job memory cgroups (memcgs).
+//
+// The simulated MMU contract matches x86: any access to a mapped page sets
+// its accessed bit, and it is software's job (kstaled) to clear it. Pages
+// that have been migrated to far memory are unmapped; touching one is a
+// major fault that the node layer resolves by decompressing (a
+// "promotion").
+package mem
+
+import (
+	"fmt"
+
+	"sdfm/internal/pagedata"
+	"sdfm/internal/zsmalloc"
+)
+
+// PageSize is the size of one page in bytes.
+const PageSize = 4096
+
+// MaxAge is the saturating value of the 8-bit per-page age, counted in
+// scan periods (255 × 120 s ≈ 8.5 h in the production configuration).
+const MaxAge = 255
+
+// PageID identifies a page within its memcg.
+type PageID uint32
+
+// PageFlags is the per-page flag word.
+type PageFlags uint8
+
+const (
+	// FlagAccessed is the MMU accessed bit.
+	FlagAccessed PageFlags = 1 << iota
+	// FlagDirty is set on writes; it clears the incompressible mark.
+	FlagDirty
+	// FlagMlocked marks pages locked in memory; never reclaimed.
+	FlagMlocked
+	// FlagUnevictable marks pages off the LRU; never reclaimed.
+	FlagUnevictable
+	// FlagIncompressible marks pages whose compressed payload exceeded the
+	// acceptance cutoff; zswap will not retry until the page is dirtied.
+	FlagIncompressible
+	// FlagCompressed marks pages currently stored in far memory.
+	FlagCompressed
+)
+
+// Page is the per-page metadata (the simulator's struct page).
+type Page struct {
+	Flags PageFlags
+	Age   uint8 // scan periods since last observed access
+	Class pagedata.Class
+	// Seed determines the page's content; writes bump it so content (and
+	// therefore compressibility) changes when the application rewrites a
+	// page.
+	Seed uint64
+	// Handle locates the compressed payload while FlagCompressed is set.
+	Handle zsmalloc.Handle
+	// CompressedSize is the payload size while compressed, else 0.
+	CompressedSize int32
+}
+
+// Has reports whether all flags in f are set.
+func (p *Page) Has(f PageFlags) bool { return p.Flags&f == f }
+
+// Set sets the flags in f.
+func (p *Page) Set(f PageFlags) { p.Flags |= f }
+
+// Clear clears the flags in f.
+func (p *Page) Clear(f PageFlags) { p.Flags &^= f }
+
+// Reclaimable reports whether kreclaimd may move this page to far memory.
+func (p *Page) Reclaimable() bool {
+	return p.Flags&(FlagCompressed|FlagMlocked|FlagUnevictable|FlagIncompressible) == 0
+}
+
+// Memcg is a job's memory cgroup: its page population (which can grow as
+// the job allocates) plus resident/compressed accounting. It is not safe
+// for concurrent use.
+type Memcg struct {
+	name       string
+	pages      []Page
+	resident   int // pages currently in near memory
+	compressed int // pages currently in far memory
+	mix        pagedata.Mix
+	seedBase   uint64
+	// LimitBytes is the cgroup memory limit; 0 means unlimited. The node
+	// agent turns zswap off for jobs at their limit (§5.1).
+	LimitBytes uint64
+}
+
+// Config describes a memcg's page population.
+type Config struct {
+	Name  string
+	Pages int
+	// Mix controls the data-class distribution of the pages.
+	Mix pagedata.Mix
+	// SeedBase derives per-page content seeds; two memcgs with different
+	// bases hold different data.
+	SeedBase uint64
+	// MlockedFraction of pages is marked mlocked (never reclaimable).
+	MlockedFraction float64
+}
+
+// NewMemcg creates a memcg whose pages are all resident, age 0, with the
+// accessed bit clear.
+func NewMemcg(cfg Config) *Memcg {
+	if cfg.Pages <= 0 {
+		panic(fmt.Sprintf("mem: memcg %q with %d pages", cfg.Name, cfg.Pages))
+	}
+	m := &Memcg{
+		name:     cfg.Name,
+		pages:    make([]Page, cfg.Pages),
+		resident: cfg.Pages,
+		mix:      cfg.Mix,
+		seedBase: cfg.SeedBase,
+	}
+	mlockEvery := 0
+	if cfg.MlockedFraction > 0 {
+		mlockEvery = int(1 / cfg.MlockedFraction)
+	}
+	for i := range m.pages {
+		p := &m.pages[i]
+		p.Seed = cfg.SeedBase + uint64(i)*0x9E3779B97F4A7C15 + 1
+		// Deterministic class assignment: hash the seed into [0,1).
+		u := float64(splitmix(p.Seed)%1_000_000) / 1_000_000
+		p.Class = cfg.Mix.Sample(u)
+		if mlockEvery > 0 && i%mlockEvery == 0 {
+			p.Set(FlagMlocked)
+		}
+	}
+	return m
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Grow appends n freshly allocated pages: resident, age 0, accessed (a
+// new allocation was just written), with content drawn from the memcg's
+// data-class mix. It returns the first new PageID.
+func (m *Memcg) Grow(n int) PageID {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: growing %s by %d pages", m.name, n))
+	}
+	first := PageID(len(m.pages))
+	for i := 0; i < n; i++ {
+		idx := len(m.pages)
+		var p Page
+		p.Seed = m.seedBase + uint64(idx)*0x9E3779B97F4A7C15 + 1
+		u := float64(splitmix(p.Seed)%1_000_000) / 1_000_000
+		p.Class = m.mix.Sample(u)
+		p.Set(FlagAccessed | FlagDirty)
+		m.pages = append(m.pages, p)
+		m.resident++
+	}
+	return first
+}
+
+// UsageBytes is the cgroup's charged memory: resident pages at full size.
+// (Compressed pages are charged to the machine-global pool, not the
+// memcg, matching the paper's accounting where zswap frees job memory.)
+func (m *Memcg) UsageBytes() uint64 { return uint64(m.resident) * PageSize }
+
+// AtLimit reports whether the cgroup has reached its memory limit.
+func (m *Memcg) AtLimit() bool {
+	return m.LimitBytes > 0 && m.UsageBytes() >= m.LimitBytes
+}
+
+// Name returns the memcg's name.
+func (m *Memcg) Name() string { return m.name }
+
+// NumPages returns the total page population.
+func (m *Memcg) NumPages() int { return len(m.pages) }
+
+// Resident returns the number of pages in near memory.
+func (m *Memcg) Resident() int { return m.resident }
+
+// Compressed returns the number of pages in far memory.
+func (m *Memcg) Compressed() int { return m.compressed }
+
+// ResidentBytes returns near-memory usage in bytes.
+func (m *Memcg) ResidentBytes() uint64 { return uint64(m.resident) * PageSize }
+
+// Page returns the metadata for id. It panics on an out-of-range id, which
+// is always a simulator bug.
+func (m *Memcg) Page(id PageID) *Page {
+	return &m.pages[id]
+}
+
+// Touch records an application access to page id, setting the accessed bit
+// exactly as the MMU would. A write additionally dirties the page, changes
+// its content seed, and clears any incompressible mark (matching the
+// kernel behaviour of re-evaluating compressibility once a PTE goes
+// dirty). It returns the page so callers can observe whether a promotion
+// fault is needed (FlagCompressed still set).
+func (m *Memcg) Touch(id PageID, write bool) *Page {
+	p := &m.pages[id]
+	p.Set(FlagAccessed)
+	if write {
+		p.Set(FlagDirty)
+		if p.Has(FlagIncompressible) {
+			p.Clear(FlagIncompressible)
+		}
+		p.Seed = splitmix(p.Seed)
+	}
+	return p
+}
+
+// MarkCompressed transitions page id into far memory with the given
+// compressed payload handle. The page must be resident and reclaimable.
+func (m *Memcg) MarkCompressed(id PageID, h zsmalloc.Handle, compressedSize int) {
+	p := &m.pages[id]
+	if p.Has(FlagCompressed) {
+		panic(fmt.Sprintf("mem: page %d of %s compressed twice", id, m.name))
+	}
+	p.Set(FlagCompressed)
+	p.Clear(FlagDirty)
+	p.Handle = h
+	p.CompressedSize = int32(compressedSize)
+	m.resident--
+	m.compressed++
+}
+
+// MarkPromoted transitions page id back to near memory after a promotion
+// fault. Per the paper, a promoted page stays decompressed (and is only
+// eligible for compression again once it turns cold again), so its age
+// resets and the accessed bit is set.
+func (m *Memcg) MarkPromoted(id PageID) {
+	p := &m.pages[id]
+	if !p.Has(FlagCompressed) {
+		panic(fmt.Sprintf("mem: promoting non-compressed page %d of %s", id, m.name))
+	}
+	p.Clear(FlagCompressed)
+	p.Set(FlagAccessed)
+	p.Age = 0
+	p.Handle = zsmalloc.InvalidHandle
+	p.CompressedSize = 0
+	m.resident++
+	m.compressed--
+}
+
+// ForEachPage calls fn for every page in the memcg. fn receives the page
+// id and a mutable pointer.
+func (m *Memcg) ForEachPage(fn func(PageID, *Page)) {
+	for i := range m.pages {
+		fn(PageID(i), &m.pages[i])
+	}
+}
+
+// CompressedBytes returns the total compressed payload bytes of this
+// memcg's far-memory pages.
+func (m *Memcg) CompressedBytes() uint64 {
+	var sum uint64
+	for i := range m.pages {
+		if m.pages[i].Has(FlagCompressed) {
+			sum += uint64(m.pages[i].CompressedSize)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,218 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdfm/internal/pagedata"
+	"sdfm/internal/zsmalloc"
+)
+
+func newTestMemcg(pages int) *Memcg {
+	return NewMemcg(Config{
+		Name:     "test",
+		Pages:    pages,
+		Mix:      pagedata.DefaultMix,
+		SeedBase: 42,
+	})
+}
+
+func TestNewMemcgBasics(t *testing.T) {
+	m := newTestMemcg(100)
+	if m.Name() != "test" || m.NumPages() != 100 {
+		t.Fatalf("name=%q pages=%d", m.Name(), m.NumPages())
+	}
+	if m.Resident() != 100 || m.Compressed() != 0 {
+		t.Fatalf("resident=%d compressed=%d", m.Resident(), m.Compressed())
+	}
+	if m.ResidentBytes() != 100*PageSize {
+		t.Fatalf("ResidentBytes = %d", m.ResidentBytes())
+	}
+}
+
+func TestNewMemcgZeroPagesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0-page memcg did not panic")
+		}
+	}()
+	NewMemcg(Config{Name: "x", Pages: 0, Mix: pagedata.DefaultMix})
+}
+
+func TestPageSeedsAndClassesVary(t *testing.T) {
+	m := newTestMemcg(1000)
+	seeds := map[uint64]bool{}
+	classes := map[pagedata.Class]int{}
+	m.ForEachPage(func(_ PageID, p *Page) {
+		seeds[p.Seed] = true
+		classes[p.Class]++
+	})
+	if len(seeds) != 1000 {
+		t.Errorf("only %d distinct seeds across 1000 pages", len(seeds))
+	}
+	if len(classes) < 3 {
+		t.Errorf("only %d classes represented: %v", len(classes), classes)
+	}
+}
+
+func TestMemcgsDiffer(t *testing.T) {
+	a := NewMemcg(Config{Name: "a", Pages: 10, Mix: pagedata.DefaultMix, SeedBase: 1})
+	b := NewMemcg(Config{Name: "b", Pages: 10, Mix: pagedata.DefaultMix, SeedBase: 2})
+	if a.Page(0).Seed == b.Page(0).Seed {
+		t.Error("different seed bases produced identical page seeds")
+	}
+}
+
+func TestTouchSetsAccessed(t *testing.T) {
+	m := newTestMemcg(4)
+	p := m.Touch(2, false)
+	if !p.Has(FlagAccessed) {
+		t.Error("accessed bit not set")
+	}
+	if p.Has(FlagDirty) {
+		t.Error("read set dirty bit")
+	}
+}
+
+func TestTouchWriteDirtiesAndReseedsPage(t *testing.T) {
+	m := newTestMemcg(4)
+	before := m.Page(1).Seed
+	m.Page(1).Set(FlagIncompressible)
+	p := m.Touch(1, true)
+	if !p.Has(FlagDirty) {
+		t.Error("write did not set dirty")
+	}
+	if p.Has(FlagIncompressible) {
+		t.Error("write did not clear incompressible mark")
+	}
+	if p.Seed == before {
+		t.Error("write did not change content seed")
+	}
+}
+
+func TestReclaimable(t *testing.T) {
+	var p Page
+	if !p.Reclaimable() {
+		t.Error("fresh page should be reclaimable")
+	}
+	for _, f := range []PageFlags{FlagCompressed, FlagMlocked, FlagUnevictable, FlagIncompressible} {
+		q := Page{Flags: f}
+		if q.Reclaimable() {
+			t.Errorf("page with flag %b should not be reclaimable", f)
+		}
+	}
+	// Accessed/dirty do not block reclaim eligibility (age gates that).
+	q := Page{Flags: FlagAccessed | FlagDirty}
+	if !q.Reclaimable() {
+		t.Error("accessed+dirty page should remain reclaimable")
+	}
+}
+
+func TestCompressPromoteCycle(t *testing.T) {
+	m := newTestMemcg(10)
+	m.MarkCompressed(3, zsmalloc.Handle(7), 1200)
+	if m.Resident() != 9 || m.Compressed() != 1 {
+		t.Fatalf("resident=%d compressed=%d", m.Resident(), m.Compressed())
+	}
+	p := m.Page(3)
+	if !p.Has(FlagCompressed) || p.Handle != 7 || p.CompressedSize != 1200 {
+		t.Fatalf("page state: %+v", p)
+	}
+	if m.CompressedBytes() != 1200 {
+		t.Errorf("CompressedBytes = %d", m.CompressedBytes())
+	}
+
+	p.Age = 50
+	m.MarkPromoted(3)
+	if m.Resident() != 10 || m.Compressed() != 0 {
+		t.Fatalf("after promote: resident=%d compressed=%d", m.Resident(), m.Compressed())
+	}
+	if p.Has(FlagCompressed) || p.Age != 0 || !p.Has(FlagAccessed) {
+		t.Errorf("promoted page state: %+v", p)
+	}
+	if p.Handle != zsmalloc.InvalidHandle || p.CompressedSize != 0 {
+		t.Errorf("promoted page kept handle: %+v", p)
+	}
+}
+
+func TestDoubleCompressPanics(t *testing.T) {
+	m := newTestMemcg(2)
+	m.MarkCompressed(0, 1, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double compress did not panic")
+		}
+	}()
+	m.MarkCompressed(0, 2, 100)
+}
+
+func TestPromoteResidentPanics(t *testing.T) {
+	m := newTestMemcg(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("promoting resident page did not panic")
+		}
+	}()
+	m.MarkPromoted(0)
+}
+
+func TestMlockedFraction(t *testing.T) {
+	m := NewMemcg(Config{
+		Name: "x", Pages: 100, Mix: pagedata.DefaultMix, MlockedFraction: 0.1,
+	})
+	locked := 0
+	m.ForEachPage(func(_ PageID, p *Page) {
+		if p.Has(FlagMlocked) {
+			locked++
+		}
+	})
+	if locked != 10 {
+		t.Errorf("locked = %d, want 10", locked)
+	}
+}
+
+func TestFlagOps(t *testing.T) {
+	var p Page
+	p.Set(FlagAccessed | FlagDirty)
+	if !p.Has(FlagAccessed) || !p.Has(FlagDirty) {
+		t.Error("Set/Has broken")
+	}
+	p.Clear(FlagAccessed)
+	if p.Has(FlagAccessed) || !p.Has(FlagDirty) {
+		t.Error("Clear broken")
+	}
+	if p.Has(FlagAccessed | FlagDirty) {
+		t.Error("Has with multiple flags should require all")
+	}
+}
+
+func TestAccountingInvariantQuick(t *testing.T) {
+	// Property: resident + compressed == total across arbitrary
+	// compress/promote sequences.
+	f := func(ops []uint8) bool {
+		m := newTestMemcg(16)
+		for _, op := range ops {
+			id := PageID(op % 16)
+			p := m.Page(id)
+			if op%2 == 0 {
+				if p.Reclaimable() {
+					m.MarkCompressed(id, zsmalloc.Handle(op)+1, 500)
+				}
+			} else {
+				if p.Has(FlagCompressed) {
+					m.MarkPromoted(id)
+				}
+			}
+			if m.Resident()+m.Compressed() != m.NumPages() {
+				return false
+			}
+			if m.Resident() < 0 || m.Compressed() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

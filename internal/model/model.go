@@ -1,0 +1,280 @@
+// Package model implements the fast far memory model (§5.3): an offline,
+// embarrassingly parallel replay of fleet telemetry traces under arbitrary
+// control-plane parameters.
+//
+// For each job, the model re-runs the §4.3 threshold controller over the
+// job's interval series — every interval carries cold-size and promotion
+// tail sums for all predefined thresholds, so the controller's behaviour
+// under any (K, S) can be evaluated without touching production. Job
+// replays are independent and run on a worker pool (the paper uses a
+// MapReduce-style pipeline for the same reason); the reduce step yields
+// the two quantities the autotuner optimizes: fleet cold-memory bytes
+// (objective) and the 98th-percentile normalized promotion rate
+// (constraint).
+package model
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/mem"
+	"sdfm/internal/stats"
+	"sdfm/internal/telemetry"
+)
+
+// Config configures a model run.
+type Config struct {
+	Params core.Params
+	SLO    core.SLO
+	// HistoryLen bounds the controller's best-threshold pool, in trace
+	// intervals. Zero uses a day of 5-minute intervals.
+	HistoryLen int
+	// Workers is the parallelism; zero means GOMAXPROCS.
+	Workers int
+	// CollectSamples retains every per-interval normalized promotion rate
+	// (needed for CDF plots; costs memory on big traces).
+	CollectSamples bool
+}
+
+// DefaultHistoryLen is one day of 5-minute intervals.
+const DefaultHistoryLen = 288
+
+// JobResult is the replay outcome for one job.
+type JobResult struct {
+	Key       telemetry.JobKey
+	Intervals int // total intervals replayed
+	Enabled   int // intervals with zswap active (past warmup)
+
+	// MeanColdPages is the mean number of pages at or past the operating
+	// threshold while enabled: the pages the system would hold in far
+	// memory.
+	MeanColdPages float64
+	// MeanColdAtMinPages is the mean cold size under the minimum threshold
+	// (the coverage denominator).
+	MeanColdAtMinPages float64
+	// MeanTotalPages is the mean page population.
+	MeanTotalPages float64
+	// MeanRate is the time-averaged normalized promotion rate
+	// (fraction of WSS per minute) while enabled.
+	MeanRate float64
+	// P98Rate is the within-job 98th percentile interval rate.
+	P98Rate float64
+	// Violations counts enabled intervals whose realized rate exceeded
+	// the SLO target.
+	Violations int
+
+	// RateSamples holds per-interval rates when Config.CollectSamples.
+	RateSamples []float64
+}
+
+// FleetResult is the reduce step over all jobs.
+type FleetResult struct {
+	Jobs []JobResult
+
+	// ColdBytes is the fleet total of mean far-memory bytes.
+	ColdBytes float64
+	// ColdBytesAtMin is the fleet total cold memory under the minimum
+	// threshold (the upper bound on what far memory could hold).
+	ColdBytesAtMin float64
+	// Coverage is ColdBytes / ColdBytesAtMin: Figure 5's metric.
+	Coverage float64
+	// P98Rate is the 98th percentile across jobs of the per-job mean
+	// normalized promotion rate: the autotuner's constraint (§5.3).
+	P98Rate float64
+	// ViolationFrac is the fraction of enabled (job, interval) samples
+	// violating the SLO.
+	ViolationFrac float64
+	// EnabledIntervals is the total enabled sample count.
+	EnabledIntervals int
+}
+
+// MeetsSLO reports whether the fleet result satisfies the SLO constraint.
+func (r FleetResult) MeetsSLO(slo core.SLO) bool {
+	return r.P98Rate <= slo.TargetRatePerMin
+}
+
+// Run replays the trace under cfg.
+func Run(trace *telemetry.Trace, cfg Config) (FleetResult, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+	if cfg.HistoryLen == 0 {
+		cfg.HistoryLen = DefaultHistoryLen
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	series := trace.JobSeries()
+	keys := trace.Jobs()
+
+	results := make([]JobResult, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	var firstErr error
+	var errMu sync.Mutex
+	for i, key := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, key telemetry.JobKey) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			jr, err := replayJob(trace, key, series[key], cfg)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			results[i] = jr
+		}(i, key)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return FleetResult{}, firstErr
+	}
+	return reduce(results, cfg), nil
+}
+
+// replayJob runs the controller over one job's interval series.
+func replayJob(trace *telemetry.Trace, key telemetry.JobKey, entries []telemetry.Entry, cfg Config) (JobResult, error) {
+	if len(entries) == 0 {
+		return JobResult{Key: key}, nil
+	}
+	ctrl, err := core.NewController(core.ControllerConfig{
+		SLO:        cfg.SLO,
+		Params:     cfg.Params,
+		HistoryLen: cfg.HistoryLen,
+		JobStart:   time.Duration(entries[0].TimestampSec) * time.Second,
+	})
+	if err != nil {
+		return JobResult{}, err
+	}
+	nThresh := len(trace.Thresholds)
+	lastIdx := nThresh - 1
+
+	jr := JobResult{Key: key}
+	var rates []float64
+	var sumCold, sumColdMin, sumTotal, sumRate float64
+
+	for _, e := range entries {
+		jr.Intervals++
+		now := time.Duration(e.TimestampSec) * time.Second
+		enabled := ctrl.Enabled(now)
+
+		// The cold ceiling (coverage denominator) exists whether or not
+		// zswap is enabled for the job; otherwise a long warmup S would
+		// "improve" coverage simply by excluding young jobs from it.
+		sumColdMin += float64(e.ColdTails[0])
+		sumTotal += float64(e.TotalPages)
+
+		if enabled {
+			// Operating threshold chosen from history before this interval.
+			idx := ctrl.Threshold()
+			if idx > lastIdx {
+				idx = lastIdx // no history yet: most conservative threshold
+			}
+			// Only compressible cold pages actually end up in zswap; the
+			// incompressible remainder stays resident (§5.1, §6.3).
+			frac := e.CompressibleFrac
+			if frac == 0 {
+				frac = 1
+			}
+			coldPages := uint64(float64(e.ColdTails[idx]) * frac)
+			promos := float64(e.PromoTails[idx]) / e.IntervalMinutes
+			rate := 0.0
+			if e.WSSPages > 0 {
+				rate = promos / float64(e.WSSPages)
+			}
+			jr.Enabled++
+			sumCold += float64(coldPages)
+			sumRate += rate
+			if rate > cfg.SLO.TargetRatePerMin {
+				jr.Violations++
+			}
+			rates = append(rates, rate)
+		}
+
+		// Best threshold for the interval just observed (fed back whether
+		// or not zswap is enabled: the kernel histograms exist regardless).
+		best := bestIndex(e, cfg.SLO)
+		ctrl.Observe(best)
+	}
+
+	if jr.Intervals > 0 {
+		n := float64(jr.Intervals)
+		// Far-memory bytes average over the whole lifetime (zero while
+		// disabled); rates average over enabled intervals only.
+		jr.MeanColdPages = sumCold / n
+		jr.MeanColdAtMinPages = sumColdMin / n
+		jr.MeanTotalPages = sumTotal / n
+	}
+	if jr.Enabled > 0 {
+		jr.MeanRate = sumRate / float64(jr.Enabled)
+		jr.P98Rate = stats.Percentile(rates, 98)
+	}
+	if cfg.CollectSamples {
+		jr.RateSamples = rates
+	}
+	return jr, nil
+}
+
+// bestIndex is core.BestThreshold in predefined-threshold-index space: the
+// smallest threshold index whose promotion rate met the SLO over the
+// interval.
+func bestIndex(e telemetry.Entry, slo core.SLO) int {
+	limit := slo.TargetRatePerMin * float64(e.WSSPages)
+	for i := range e.PromoTails {
+		rate := float64(e.PromoTails[i]) / e.IntervalMinutes
+		if rate <= limit {
+			return i
+		}
+	}
+	return len(e.PromoTails) - 1
+}
+
+func reduce(jobs []JobResult, cfg Config) FleetResult {
+	r := FleetResult{Jobs: jobs}
+	var meanRates []float64
+	violations := 0
+	for _, j := range jobs {
+		if j.Intervals == 0 {
+			continue
+		}
+		// Every job's cold ceiling counts toward the fleet denominator,
+		// even when zswap never enabled for it.
+		r.ColdBytes += j.MeanColdPages * mem.PageSize
+		r.ColdBytesAtMin += j.MeanColdAtMinPages * mem.PageSize
+		if j.Enabled == 0 {
+			continue
+		}
+		r.EnabledIntervals += j.Enabled
+		violations += j.Violations
+		meanRates = append(meanRates, j.MeanRate)
+	}
+	if r.ColdBytesAtMin > 0 {
+		r.Coverage = r.ColdBytes / r.ColdBytesAtMin
+	}
+	if len(meanRates) > 0 {
+		r.P98Rate = stats.Percentile(meanRates, 98)
+	}
+	if r.EnabledIntervals > 0 {
+		r.ViolationFrac = float64(violations) / float64(r.EnabledIntervals)
+	}
+	return r
+}
+
+// String renders the fleet result compactly.
+func (r FleetResult) String() string {
+	return fmt.Sprintf("coverage=%.3f coldGiB=%.2f p98rate=%.5f/min violations=%.3f jobs=%d",
+		r.Coverage, r.ColdBytes/(1<<30), r.P98Rate, r.ViolationFrac, len(r.Jobs))
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/telemetry"
+)
+
+func TestRunTimelineStagedRollout(t *testing.T) {
+	tr := buildTrace(3, 60, 5) // 60 intervals of 5 min = 5 hours
+	phases := []Phase{
+		{Name: "off", Start: 0, Params: core.DefaultParams, Enabled: false},
+		{Name: "manual", Start: time.Hour, Params: core.Params{K: 99, S: 0}, Enabled: true},
+		{Name: "autotuned", Start: 3 * time.Hour, Params: core.Params{K: 70, S: 0}, Enabled: true},
+	}
+	pts, err := RunTimeline(tr, phases, Config{SLO: core.DefaultSLO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 60 {
+		t.Fatalf("points = %d, want 60", len(pts))
+	}
+	// Pre-rollout coverage is zero.
+	for _, p := range pts {
+		if p.Phase == "off" && p.Coverage != 0 {
+			t.Errorf("coverage %.3f during off phase at %v", p.Coverage, p.Time)
+		}
+		if p.Time >= 90*time.Minute && p.Time < 3*time.Hour && p.Phase != "manual" {
+			t.Errorf("phase at %v = %q, want manual", p.Time, p.Phase)
+		}
+	}
+	// Coverage appears after enablement.
+	var manualCov, autoCov float64
+	var nManual, nAuto int
+	for _, p := range pts {
+		switch {
+		case p.Phase == "manual" && p.Time >= 90*time.Minute:
+			manualCov += p.Coverage
+			nManual++
+		case p.Phase == "autotuned" && p.Time >= 4*time.Hour:
+			autoCov += p.Coverage
+			nAuto++
+		}
+	}
+	if nManual == 0 || nAuto == 0 {
+		t.Fatal("phases did not produce samples")
+	}
+	manualCov /= float64(nManual)
+	autoCov /= float64(nAuto)
+	if manualCov <= 0 {
+		t.Error("manual phase produced no coverage")
+	}
+	// The stationary trace has a constant best index, so both phases
+	// converge to the same operating threshold; coverage must not drop
+	// when the (more aggressive) autotuned parameters land.
+	if autoCov < manualCov*0.95 {
+		t.Errorf("autotuned coverage %.3f dropped below manual %.3f", autoCov, manualCov)
+	}
+	// Timeline sorted by time.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatal("timeline not sorted")
+		}
+	}
+}
+
+func TestRunTimelineKDifferenceShows(t *testing.T) {
+	// On a phased workload (occasional busy intervals), lower K holds
+	// lower thresholds and therefore more cold bytes.
+	tr := telemetry.NewTrace()
+	n := len(tr.Thresholds)
+	key := telemetry.JobKey{Cluster: "c", Machine: "m", Job: "phased"}
+	for it := 0; it < 150; it++ {
+		bestIdx := 2
+		if it%10 == 9 {
+			bestIdx = 12
+		}
+		cold := make([]uint64, n)
+		promo := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			cold[i] = uint64(5000 - 200*i)
+			if i < bestIdx {
+				promo[i] = 500
+			} else {
+				promo[i] = 1
+			}
+		}
+		if err := tr.Append(telemetry.Entry{
+			Key: key, TimestampSec: int64((it + 1) * 300), IntervalMinutes: 5,
+			WSSPages: 3000, TotalPages: 10000, ColdTails: cold, PromoTails: promo,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(k float64) float64 {
+		pts, err := RunTimeline(tr, []Phase{
+			{Name: "run", Start: 0, Params: core.Params{K: k, S: 0}, Enabled: true},
+		}, Config{SLO: core.DefaultSLO})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		half := len(pts) / 2
+		for _, p := range pts[half:] {
+			sum += p.Coverage
+		}
+		return sum / float64(len(pts)-half)
+	}
+	if low, high := mk(50), mk(99); low <= high {
+		t.Errorf("K=50 coverage %.3f should exceed K=99 coverage %.3f", low, high)
+	}
+}
+
+func TestRunTimelineValidation(t *testing.T) {
+	tr := buildTrace(1, 5, 2)
+	if _, err := RunTimeline(tr, nil, Config{SLO: core.DefaultSLO}); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := RunTimeline(tr, []Phase{
+		{Name: "b", Start: time.Hour, Params: core.DefaultParams},
+		{Name: "a", Start: 0, Params: core.DefaultParams},
+	}, Config{SLO: core.DefaultSLO}); err == nil {
+		t.Error("unsorted phases accepted")
+	}
+	if _, err := RunTimeline(tr, []Phase{
+		{Name: "a", Start: 0, Params: core.Params{K: 500}},
+	}, Config{SLO: core.DefaultSLO}); err == nil {
+		t.Error("invalid phase params accepted")
+	}
+}

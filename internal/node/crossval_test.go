@@ -1,0 +1,107 @@
+package node
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sdfm/internal/histogram"
+	"sdfm/internal/mem"
+	"sdfm/internal/workload"
+)
+
+// TestCrossFidelityAgeDistribution validates that the page-accurate
+// simulator and the statistical fleet-trace generator describe the same
+// fleet: after reaching steady state, the measured cold-age census of a
+// simulated job must match the renewal-process prediction
+// P(age >= T) = exp(-T/P) aggregated over the job's page periods — the
+// exact formula internal/fleet synthesizes traces from.
+func TestCrossFidelityAgeDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state run is slow")
+	}
+	for _, arch := range []*workload.Archetype{workload.LogProcessor, workload.KVCache, workload.WebFrontend} {
+		arch := arch
+		t.Run(arch.Name, func(t *testing.T) {
+			w, err := workload.New(workload.Config{Archetype: arch, Name: "xv", Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMachine(Config{
+				Name: "xv", Cluster: "xv", DRAMBytes: 4 << 30,
+				Mode: ModeDisabled, // pure measurement, no reclaim
+				Seed: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := m.AddJob(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Run long enough for ages up to a few hours to equilibrate.
+			if err := m.Run(8 * time.Hour); err != nil {
+				t.Fatal(err)
+			}
+
+			census := j.Tracker.Census()
+			total := float64(census.Total())
+			scan := histogram.DefaultScanPeriod.Seconds()
+
+			for _, bucket := range []int{1, 5, 15, 30} {
+				T := float64(bucket) * scan
+				// Analytic prediction over the instance's page periods.
+				var predicted float64
+				for i := 0; i < w.Pages(); i++ {
+					predicted += math.Exp(-T / w.MeanPeriod(mem.PageID(i)))
+				}
+				predicted /= float64(w.Pages())
+				measured := float64(census.TailSum(bucket)) / total
+
+				// Diurnal modulation and finite runs leave a few points of
+				// slack; demand agreement within max(0.07 absolute, 25%
+				// relative).
+				absErr := math.Abs(measured - predicted)
+				relErr := absErr / math.Max(predicted, 1e-9)
+				if absErr > 0.07 && relErr > 0.25 {
+					t.Errorf("bucket %d (T=%.0fs): measured cold %.3f vs analytic %.3f",
+						bucket, T, measured, predicted)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossFidelityWorkingSet checks the measured WSS against the
+// analytic prediction Σ (1 - e^(-120/P)) used by the fleet generator.
+func TestCrossFidelityWorkingSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state run is slow")
+	}
+	w, err := workload.New(workload.Config{Archetype: workload.KVCache, Name: "wss", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(Config{
+		Name: "wss", Cluster: "xv", DRAMBytes: 4 << 30, Mode: ModeDisabled, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.AddJob(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(3 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	var predicted float64
+	for i := 0; i < w.Pages(); i++ {
+		predicted += 1 - math.Exp(-120/w.MeanPeriod(mem.PageID(i)))
+	}
+	measured := float64(j.Tracker.Census().Count(0))
+	rel := math.Abs(measured-predicted) / predicted
+	if rel > 0.3 {
+		t.Errorf("WSS measured %.0f vs analytic %.0f (rel err %.2f)", measured, predicted, rel)
+	}
+}

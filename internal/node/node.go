@@ -1,0 +1,625 @@
+// Package node assembles one machine of the far-memory system: per-job
+// memcgs driven by synthetic workloads, the kstaled scanner and kreclaimd
+// reclaimer, a machine-global zswap pool, and the node agent (the paper's
+// Borglet role) that runs the §4.3 threshold controller per job, enforces
+// working-set soft limits, triggers zsmalloc compaction, exports
+// telemetry, and evicts low-priority jobs when decompression bursts
+// exhaust DRAM (§4.2, §5.2).
+//
+// The same machine can run in three modes for the paper's comparisons:
+// proactive far memory (the paper's system), reactive far memory (stock
+// zswap triggered only by memory pressure, the §3.2 baseline), and
+// disabled (the control group in A/B experiments).
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/histogram"
+	"sdfm/internal/kreclaimd"
+	"sdfm/internal/kstaled"
+	"sdfm/internal/mem"
+	"sdfm/internal/telemetry"
+	"sdfm/internal/workload"
+	"sdfm/internal/zswap"
+)
+
+// Mode selects the machine's far-memory policy.
+type Mode int
+
+const (
+	// ModeProactive is the paper's system: background cold-page reclaim
+	// under the promotion-rate SLO.
+	ModeProactive Mode = iota
+	// ModeReactive is stock zswap: compression happens only on direct
+	// reclaim when the machine runs out of memory (§3.2 baseline).
+	ModeReactive
+	// ModeDisabled runs no far memory at all (A/B control group).
+	ModeDisabled
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeProactive:
+		return "proactive"
+	case ModeReactive:
+		return "reactive"
+	case ModeDisabled:
+		return "disabled"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// JobState tracks a job's lifecycle on the machine.
+type JobState int
+
+const (
+	// JobRunning is a live job.
+	JobRunning JobState = iota
+	// JobEvicted was killed to relieve memory pressure and would be
+	// rescheduled elsewhere by the cluster scheduler.
+	JobEvicted
+	// JobFinished exited normally (job churn); its far-memory pages were
+	// discarded without promotion cost.
+	JobFinished
+)
+
+// Job is one job instance on the machine.
+type Job struct {
+	Workload   *workload.Workload
+	Memcg      *mem.Memcg
+	Tracker    *kstaled.Tracker
+	Controller *core.Controller
+	Started    time.Duration
+	State      JobState
+	Priority   int
+
+	// Accounting.
+	CPUUsed       time.Duration // application CPU
+	CompressCPU   time.Duration // cycles spent compressing (incl. rejects)
+	DecompressCPU time.Duration // cycles spent decompressing on faults
+	StallTime     time.Duration // synchronous stalls (reactive direct reclaim)
+	Promotions    uint64        // actual promotion faults
+	StoredPages   uint64        // pages moved to far memory (cumulative)
+	StoredBytes   uint64        // compressed payload bytes (cumulative)
+
+	prevPromo *histogram.Histogram // snapshot for interval deltas
+
+	// Per-interval samples while running (for CDFs).
+	rateSamples    []float64
+	latencySamples []float64
+
+	lastWSS      uint64
+	lastColdMin  uint64
+	intervalProm uint64 // promotion faults during the current interval
+}
+
+// CompressionRatio returns the job's cumulative byte-weighted compression
+// ratio, or 0 if nothing was stored.
+func (j *Job) CompressionRatio() float64 {
+	if j.StoredBytes == 0 {
+		return 0
+	}
+	return float64(j.StoredPages*mem.PageSize) / float64(j.StoredBytes)
+}
+
+// CPUOverheadCompress returns compression cycles as a fraction of job CPU.
+func (j *Job) CPUOverheadCompress() float64 {
+	if j.CPUUsed == 0 {
+		return 0
+	}
+	return float64(j.CompressCPU) / float64(j.CPUUsed)
+}
+
+// CPUOverheadDecompress returns decompression cycles as a fraction of job
+// CPU.
+func (j *Job) CPUOverheadDecompress() float64 {
+	if j.CPUUsed == 0 {
+		return 0
+	}
+	return float64(j.DecompressCPU) / float64(j.CPUUsed)
+}
+
+// RateSamples returns the per-interval normalized promotion rates
+// (fraction of WSS per minute) observed while the job ran.
+func (j *Job) RateSamples() []float64 { return j.rateSamples }
+
+// LatencySamples returns observed promotion latencies in microseconds.
+func (j *Job) LatencySamples() []float64 { return j.latencySamples }
+
+// Config configures a machine.
+type Config struct {
+	Name    string
+	Cluster string
+	// DRAMBytes is the machine's near-memory capacity.
+	DRAMBytes uint64
+	Mode      Mode
+	Params    core.Params
+	SLO       core.SLO
+	// ScanPeriod for kstaled and the agent control interval (default 120 s).
+	ScanPeriod time.Duration
+	// Tier overrides the far-memory tier (default: a zswap pool).
+	Tier zswap.FarMemory
+	// Collector, when set, receives 5-minute telemetry exports.
+	Collector *telemetry.Collector
+	// CompactEveryScans triggers zsmalloc compaction (default 10).
+	CompactEveryScans int
+	// CollectSamples retains per-interval rate and latency samples.
+	CollectSamples bool
+	// Seed namespaces per-job memcg content seeds.
+	Seed int64
+}
+
+// Machine is one simulated production machine.
+type Machine struct {
+	cfg       Config
+	pool      zswap.FarMemory
+	zswapPool *zswap.Pool // non-nil when the tier is zswap (for compaction)
+	reclaimer *kreclaimd.Reclaimer
+	jobs      []*Job
+	now       time.Duration
+	scans     uint64
+
+	evictions     int
+	limitKills    int
+	lastExport    time.Duration
+	exportEvery   time.Duration
+	scanPeriod    time.Duration
+	pressureRuns  int
+	pressureStall time.Duration
+}
+
+// NewMachine builds a machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.DRAMBytes == 0 {
+		return nil, fmt.Errorf("node: machine %q with zero DRAM", cfg.Name)
+	}
+	if cfg.SLO == (core.SLO{}) {
+		cfg.SLO = core.DefaultSLO
+	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = core.DefaultParams
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ScanPeriod == 0 {
+		cfg.ScanPeriod = kstaled.DefaultScanPeriod
+	}
+	if cfg.CompactEveryScans == 0 {
+		cfg.CompactEveryScans = 10
+	}
+	tier := cfg.Tier
+	if tier == nil {
+		tier = zswap.NewPool()
+	}
+	m := &Machine{
+		cfg:         cfg,
+		pool:        tier,
+		reclaimer:   kreclaimd.New(tier),
+		scanPeriod:  cfg.ScanPeriod,
+		exportEvery: telemetry.DefaultAggregation,
+	}
+	if zp, ok := tier.(*zswap.Pool); ok {
+		m.zswapPool = zp
+	}
+	return m, nil
+}
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.cfg.Name }
+
+// Now returns the machine's current simulated time.
+func (m *Machine) Now() time.Duration { return m.now }
+
+// Jobs returns all jobs ever placed on the machine (including evicted).
+func (m *Machine) Jobs() []*Job { return m.jobs }
+
+// Evictions returns how many jobs have been evicted for memory pressure.
+func (m *Machine) Evictions() int { return m.evictions }
+
+// LimitKills returns how many jobs were killed for exceeding their memcg
+// limit (distinct from machine-pressure evictions).
+func (m *Machine) LimitKills() int { return m.limitKills }
+
+// PressureEvents returns how many direct-reclaim episodes occurred
+// (reactive mode) and their cumulative synchronous stall time.
+func (m *Machine) PressureEvents() (int, time.Duration) {
+	return m.pressureRuns, m.pressureStall
+}
+
+// Tier returns the machine's far-memory tier.
+func (m *Machine) Tier() zswap.FarMemory { return m.pool }
+
+// AddJob places a workload on the machine starting at the machine's
+// current time.
+func (m *Machine) AddJob(w *workload.Workload) (*Job, error) {
+	ctrl, err := core.NewController(core.ControllerConfig{
+		SLO:      m.cfg.SLO,
+		Params:   m.cfg.Params,
+		JobStart: m.now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seedBase := uint64(m.cfg.Seed)*0x9E3779B97F4A7C15 + uint64(len(m.jobs))*0xBF58476D1CE4E5B9 + 1
+	memcg := mem.NewMemcg(w.MemcgConfig(seedBase))
+	if f := w.Archetype().MemLimitFactor; f > 0 {
+		memcg.LimitBytes = uint64(float64(w.Pages()) * mem.PageSize * f)
+	}
+	j := &Job{
+		Workload:   w,
+		Memcg:      memcg,
+		Tracker:    kstaled.NewTracker(memcg, kstaled.Config{ScanPeriod: m.scanPeriod}),
+		Controller: ctrl,
+		Started:    m.now,
+		Priority:   w.Archetype().Priority,
+	}
+	m.jobs = append(m.jobs, j)
+	return j, nil
+}
+
+// SetParams deploys new control-plane parameters to every job (a
+// production config push).
+func (m *Machine) SetParams(p core.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.cfg.Params = p
+	for _, j := range m.jobs {
+		if j.State == JobRunning {
+			if err := j.Controller.SetParams(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Params returns the machine's current control-plane parameters.
+func (m *Machine) Params() core.Params { return m.cfg.Params }
+
+// ResidentBytes is the near-memory consumed by running jobs' resident
+// pages.
+func (m *Machine) ResidentBytes() uint64 {
+	var sum uint64
+	for _, j := range m.jobs {
+		if j.State == JobRunning {
+			sum += j.Memcg.ResidentBytes()
+		}
+	}
+	return sum
+}
+
+// UsedBytes is total near-memory in use: resident pages plus the far-
+// memory tier's own footprint (compressed pool DRAM).
+func (m *Machine) UsedBytes() uint64 {
+	return m.ResidentBytes() + m.pool.FootprintBytes()
+}
+
+// ColdPagesAtMin returns the fleet-definition cold page count: pages idle
+// at least the minimum threshold (including those already in far memory).
+func (m *Machine) ColdPagesAtMin() uint64 {
+	var sum uint64
+	for _, j := range m.jobs {
+		if j.State == JobRunning {
+			sum += j.Tracker.Census().TailSum(1)
+		}
+	}
+	return sum
+}
+
+// CompressedPages returns pages currently stored in far memory.
+func (m *Machine) CompressedPages() uint64 {
+	var sum uint64
+	for _, j := range m.jobs {
+		if j.State == JobRunning {
+			sum += uint64(j.Memcg.Compressed())
+		}
+	}
+	return sum
+}
+
+// Coverage is compressed pages over cold pages at the minimum threshold:
+// the Figure 5/6 metric.
+func (m *Machine) Coverage() float64 {
+	cold := m.ColdPagesAtMin()
+	if cold == 0 {
+		return 0
+	}
+	return float64(m.CompressedPages()) / float64(cold)
+}
+
+// ColdFraction is cold pages over total pages: the Figure 1/2 metric.
+func (m *Machine) ColdFraction() float64 {
+	var total uint64
+	for _, j := range m.jobs {
+		if j.State == JobRunning {
+			total += uint64(j.Memcg.NumPages())
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(m.ColdPagesAtMin()) / float64(total)
+}
+
+// Step advances the machine by one scan period: workload accesses,
+// kstaled scan, agent control (threshold + reclaim), compaction,
+// telemetry export, and memory-pressure handling.
+func (m *Machine) Step() error {
+	m.now += m.scanPeriod
+	m.scans++
+	intervalMinutes := m.scanPeriod.Minutes()
+
+	// 1. Application allocation growth, memcg limits, then accesses;
+	// faults on compressed pages promote.
+	for _, j := range m.jobs {
+		if j.State != JobRunning {
+			continue
+		}
+		if n := j.Workload.GrowthDue(m.now); n > 0 {
+			j.Memcg.Grow(n)
+			j.Workload.AddPages(n, m.now)
+		}
+		if j.Memcg.LimitBytes > 0 && j.Memcg.UsageBytes() > j.Memcg.LimitBytes {
+			// The job blew through its cgroup limit. WSC applications
+			// prefer failing fast and restarting elsewhere over burning
+			// kernel cycles staving off preemption (§5.1).
+			if err := m.evict(j); err != nil {
+				return err
+			}
+			m.limitKills++
+			m.evictions-- // limit kills are not pressure evictions
+			continue
+		}
+		var faultErr error
+		j.Workload.Tick(m.now, func(id mem.PageID, write bool) {
+			if faultErr != nil {
+				return
+			}
+			page := j.Memcg.Page(id)
+			if page.Has(mem.FlagCompressed) {
+				j.Tracker.RecordPromotionFault(page)
+				lr, err := m.pool.Load(j.Memcg, id)
+				if err != nil {
+					faultErr = fmt.Errorf("node: promotion fault on %s page %d: %w", j.Memcg.Name(), id, err)
+					return
+				}
+				j.DecompressCPU += lr.CPUTime
+				j.Promotions++
+				j.intervalProm++
+				if m.cfg.CollectSamples {
+					j.latencySamples = append(j.latencySamples, float64(lr.Latency.Nanoseconds())/1e3)
+				}
+			}
+			j.Memcg.Touch(id, write)
+		})
+		if faultErr != nil {
+			return faultErr
+		}
+		j.CPUUsed += j.Workload.CPUUsage(m.now, m.scanPeriod)
+	}
+
+	// 2. kstaled scans.
+	for _, j := range m.jobs {
+		if j.State == JobRunning {
+			j.Tracker.Scan()
+		}
+	}
+
+	// 3. Node agent control loop per job.
+	for _, j := range m.jobs {
+		if j.State != JobRunning {
+			continue
+		}
+		census := j.Tracker.Census()
+		wss := core.WorkingSetPages(census, m.cfg.SLO)
+		j.lastWSS = wss
+		j.lastColdMin = census.TailSum(1)
+
+		promoDelta := j.Tracker.Promotions().Sub(j.prevPromo)
+		j.prevPromo = j.Tracker.Promotions().Clone()
+		j.Controller.ObserveInterval(promoDelta, wss, intervalMinutes)
+
+		// Record the realized normalized promotion rate for this interval.
+		if m.cfg.CollectSamples && wss > 0 {
+			rate := float64(j.intervalProm) / intervalMinutes / float64(wss)
+			j.rateSamples = append(j.rateSamples, rate)
+		}
+		j.intervalProm = 0
+
+		// zswap is off for jobs at their memcg limit: compressing to stave
+		// off the limit wastes cycles the scheduler will reclaim anyway by
+		// killing the job (§5.1).
+		if m.cfg.Mode == ModeProactive && j.Controller.Enabled(m.now) && !j.Memcg.AtLimit() {
+			th := j.Controller.Threshold()
+			res := m.reclaimer.ReclaimCold(j.Memcg, th)
+			j.CompressCPU += res.CPUTime
+			j.StoredPages += uint64(res.Stored)
+			j.StoredBytes += res.StoredBytes
+		}
+	}
+
+	// 4. Periodic compaction (agent-triggered, §5.1).
+	if m.zswapPool != nil && m.scans%uint64(m.cfg.CompactEveryScans) == 0 {
+		m.zswapPool.Compact()
+	}
+
+	// 5. Memory pressure.
+	if err := m.handlePressure(); err != nil {
+		return err
+	}
+
+	// 6. Telemetry export.
+	if m.cfg.Collector != nil && m.now-m.lastExport >= m.exportEvery {
+		if err := m.export(); err != nil {
+			return err
+		}
+		m.lastExport = m.now
+	}
+	return nil
+}
+
+// handlePressure resolves near-memory overcommit. In reactive mode it runs
+// direct reclaim (synchronous compression charged as stall time) on the
+// lowest-priority jobs, never pushing a job below its working-set soft
+// limit. If pressure persists — or in proactive mode, where the paper
+// prefers failing fast — the lowest-priority job is evicted.
+func (m *Machine) handlePressure() error {
+	if m.UsedBytes() <= m.cfg.DRAMBytes {
+		return nil
+	}
+	if m.cfg.Mode == ModeReactive {
+		m.pressureRuns++
+		need := m.UsedBytes() - m.cfg.DRAMBytes
+		for _, j := range m.jobsByPriority() {
+			if need == 0 {
+				break
+			}
+			// Soft limit: do not reclaim below the working set (§5.1).
+			resident := j.Memcg.ResidentBytes()
+			softLimit := j.lastWSS * mem.PageSize
+			if resident <= softLimit {
+				continue
+			}
+			budget := resident - softLimit
+			if budget > need {
+				budget = need
+			}
+			res := m.reclaimer.ReclaimUnderPressure(j.Memcg, budget)
+			j.StallTime += res.CPUTime // direct reclaim stalls the allocating thread
+			j.CompressCPU += res.CPUTime
+			j.StoredPages += uint64(res.Stored)
+			j.StoredBytes += res.StoredBytes
+			m.pressureStall += res.CPUTime
+			freed := uint64(res.Stored) * mem.PageSize
+			if freed >= need {
+				need = 0
+			} else {
+				need -= freed
+			}
+		}
+	}
+	// Evict lowest-priority jobs until the machine fits.
+	for m.UsedBytes() > m.cfg.DRAMBytes {
+		victim := m.lowestPriorityRunning()
+		if victim == nil {
+			return fmt.Errorf("node: machine %s out of memory with no evictable jobs", m.cfg.Name)
+		}
+		if err := m.evict(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) jobsByPriority() []*Job {
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.State == JobRunning {
+			out = append(out, j)
+		}
+	}
+	// Insertion sort by ascending priority (few jobs per machine).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Priority < out[k-1].Priority; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+func (m *Machine) lowestPriorityRunning() *Job {
+	js := m.jobsByPriority()
+	if len(js) == 0 {
+		return nil
+	}
+	return js[0]
+}
+
+// RemoveJob retires a job that finished normally: its far-memory pages
+// are discarded (no decompression cost) and its memory is released. The
+// slot becomes free for the scheduler to reuse.
+func (m *Machine) RemoveJob(j *Job) error {
+	if j.State != JobRunning {
+		return fmt.Errorf("node: removing job %s in state %d", j.Memcg.Name(), j.State)
+	}
+	if err := m.releaseFarMemory(j); err != nil {
+		return err
+	}
+	j.State = JobFinished
+	if m.cfg.Collector != nil {
+		m.cfg.Collector.Forget(m.jobKey(j))
+	}
+	return nil
+}
+
+// evict kills a job, releasing its far-memory pages without decompression.
+func (m *Machine) evict(j *Job) error {
+	if err := m.releaseFarMemory(j); err != nil {
+		return err
+	}
+	j.State = JobEvicted
+	m.evictions++
+	if m.cfg.Collector != nil {
+		m.cfg.Collector.Forget(m.jobKey(j))
+	}
+	return nil
+}
+
+// releaseFarMemory discards a departing job's far-memory pages.
+func (m *Machine) releaseFarMemory(j *Job) error {
+	var dropErr error
+	j.Memcg.ForEachPage(func(id mem.PageID, p *mem.Page) {
+		if dropErr == nil && p.Has(mem.FlagCompressed) {
+			if zp, ok := m.pool.(interface {
+				Drop(*mem.Memcg, mem.PageID) error
+			}); ok {
+				dropErr = zp.Drop(j.Memcg, id)
+			} else {
+				_, err := m.pool.Load(j.Memcg, id)
+				dropErr = err
+			}
+		}
+	})
+	return dropErr
+}
+
+func (m *Machine) jobKey(j *Job) telemetry.JobKey {
+	return telemetry.JobKey{Cluster: m.cfg.Cluster, Machine: m.cfg.Name, Job: j.Memcg.Name()}
+}
+
+func (m *Machine) export() error {
+	minutes := m.exportEvery.Minutes()
+	for _, j := range m.jobs {
+		if j.State != JobRunning {
+			continue
+		}
+		err := m.cfg.Collector.Record(
+			m.jobKey(j), m.now, minutes,
+			j.Tracker.Promotions(), j.Tracker.Census(), j.lastWSS,
+		)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run advances the machine until the given simulated time.
+func (m *Machine) Run(until time.Duration) error {
+	for m.now+m.scanPeriod <= until {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

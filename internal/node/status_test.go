@@ -1,0 +1,104 @@
+package node
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/workload"
+)
+
+func TestSnapshot(t *testing.T) {
+	m := newMachine(t, Config{Mode: ModeProactive, Params: core.Params{K: 95, S: 10 * time.Minute}, Seed: 40})
+	j := addWorkload(t, m, workload.LogProcessor, 41)
+	if err := m.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Name != "m0" || s.Cluster != "test" || s.Mode != "proactive" {
+		t.Errorf("identity fields: %+v", s)
+	}
+	if s.SimTime != 2*time.Hour {
+		t.Errorf("SimTime = %v", s.SimTime)
+	}
+	if len(s.Jobs) != 1 {
+		t.Fatalf("jobs = %d", len(s.Jobs))
+	}
+	js := s.Jobs[0]
+	if js.State != "running" || js.Pages != j.Memcg.NumPages() {
+		t.Errorf("job snapshot: %+v", js)
+	}
+	if js.CompressedPages == 0 || s.Compressed == 0 {
+		t.Error("snapshot missing compression state")
+	}
+	if s.UsedBytes == 0 || s.UsedBytes > s.DRAMBytes {
+		t.Errorf("UsedBytes = %d", s.UsedBytes)
+	}
+	if js.Threshold <= 0 {
+		t.Error("missing threshold")
+	}
+}
+
+func TestStatusHandlerJSON(t *testing.T) {
+	m := newMachine(t, Config{Mode: ModeProactive, Params: core.Params{K: 95, S: 10 * time.Minute}, Seed: 42})
+	addWorkload(t, m, workload.KVCache, 43)
+	if err := m.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(StatusHandler(m))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "m0" || len(s.Jobs) != 1 {
+		t.Errorf("decoded snapshot: %+v", s)
+	}
+}
+
+func TestStatusHandlerText(t *testing.T) {
+	m := newMachine(t, Config{Mode: ModeProactive, Params: core.Params{K: 95, S: 10 * time.Minute}, Seed: 44})
+	addWorkload(t, m, workload.WebFrontend, 45)
+	if err := m.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(StatusHandler(m))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := sb.String()
+	if !strings.Contains(body, "machine test/m0") || !strings.Contains(body, "web-frontend") {
+		t.Errorf("text view:\n%s", body)
+	}
+}
+
+func TestJobStateName(t *testing.T) {
+	if jobStateName(JobRunning) != "running" || jobStateName(JobEvicted) != "evicted" ||
+		jobStateName(JobFinished) != "finished" || jobStateName(JobState(9)) == "" {
+		t.Error("jobStateName broken")
+	}
+}

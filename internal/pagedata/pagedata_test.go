@@ -1,0 +1,198 @@
+package pagedata
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sdfm/internal/compress"
+)
+
+const pageSize = 4096
+
+func genPage(t *testing.T, class Class, seed uint64) []byte {
+	t.Helper()
+	buf := make([]byte, pageSize)
+	Generate(buf, class, seed)
+	return buf
+}
+
+func TestDeterministic(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		a := genPage(t, c, 12345)
+		b := genPage(t, c, 12345)
+		if !bytes.Equal(a, b) {
+			t.Errorf("class %v not deterministic", c)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	for _, c := range []Class{ClassText, ClassStructured, ClassNumeric, ClassRandom} {
+		a := genPage(t, c, 1)
+		b := genPage(t, c, 2)
+		if bytes.Equal(a, b) {
+			t.Errorf("class %v: different seeds produced identical pages", c)
+		}
+	}
+}
+
+func TestZeroSeedHandled(t *testing.T) {
+	// Seed 0 must not degenerate (xorshift with state 0 is stuck at 0).
+	p := genPage(t, ClassRandom, 0)
+	allZero := true
+	for _, b := range p {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Error("ClassRandom with seed 0 generated a zero page")
+	}
+}
+
+// ratio compresses a page of the class and returns original/compressed.
+func classRatio(t *testing.T, c Class, seed uint64) float64 {
+	t.Helper()
+	page := genPage(t, c, seed)
+	comp := compress.Compress(nil, page)
+	return compress.Ratio(len(page), len(comp))
+}
+
+func TestCompressionRatioByClass(t *testing.T) {
+	// The classes must span the paper's 2-6x range with random ~1x.
+	cases := []struct {
+		class  Class
+		lo, hi float64
+	}{
+		{ClassZero, 20, 1e9},
+		{ClassText, 1.8, 8},
+		{ClassStructured, 3, 40},
+		{ClassNumeric, 1.3, 8},
+		{ClassRandom, 0.9, 1.05},
+	}
+	for _, tc := range cases {
+		// Average over several seeds for stability.
+		sum := 0.0
+		const n = 8
+		for s := uint64(1); s <= n; s++ {
+			sum += classRatio(t, tc.class, s*7919)
+		}
+		avg := sum / n
+		if avg < tc.lo || avg > tc.hi {
+			t.Errorf("class %v: avg ratio %.2f outside [%v, %v]", tc.class, avg, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestRandomClassIncompressibleAtCutoff(t *testing.T) {
+	// Random pages must exceed the 2990-byte zswap acceptance cutoff.
+	for s := uint64(1); s <= 10; s++ {
+		page := genPage(t, ClassRandom, s)
+		comp := compress.Compress(nil, page)
+		if len(comp) <= 2990 {
+			t.Errorf("seed %d: random page compressed to %d bytes (<= cutoff)", s, len(comp))
+		}
+	}
+}
+
+func TestCompressibleClassesUnderCutoff(t *testing.T) {
+	for _, c := range []Class{ClassZero, ClassText, ClassStructured} {
+		for s := uint64(1); s <= 10; s++ {
+			page := genPage(t, c, s*31)
+			comp := compress.Compress(nil, page)
+			if len(comp) > 2990 {
+				t.Errorf("class %v seed %d: compressed to %d bytes (> cutoff)", c, s, len(comp))
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown class did not panic")
+		}
+	}()
+	Generate(make([]byte, 16), Class(99), 1)
+}
+
+func TestGenerateOddSizes(t *testing.T) {
+	// Non-multiple-of-8 and tiny buffers must not panic for any class.
+	for c := Class(0); c < NumClasses; c++ {
+		for _, n := range []int{0, 1, 7, 9, 63, 100} {
+			buf := make([]byte, n)
+			Generate(buf, c, 3)
+		}
+	}
+}
+
+func TestMixSample(t *testing.T) {
+	m := NewMix(0, 1, 0, 0, 1) // text and random only, 50/50
+	counts := map[Class]int{}
+	rng := rand.New(rand.NewSource(11))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(rng.Float64())]++
+	}
+	if counts[ClassZero] != 0 || counts[ClassStructured] != 0 || counts[ClassNumeric] != 0 {
+		t.Errorf("zero-weight classes sampled: %v", counts)
+	}
+	frac := float64(counts[ClassText]) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("text fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestMixWeight(t *testing.T) {
+	m := NewMix(1, 1, 1, 1, 1)
+	for c := Class(0); c < NumClasses; c++ {
+		if w := m.Weight(c); w != 0.2 {
+			t.Errorf("Weight(%v) = %v, want 0.2", c, w)
+		}
+	}
+	if m.Weight(Class(50)) != 0 {
+		t.Error("out-of-range class should have weight 0")
+	}
+}
+
+func TestMixSampleEdges(t *testing.T) {
+	m := NewMix(1, 0, 0, 0, 1)
+	if got := m.Sample(0); got != ClassZero {
+		t.Errorf("Sample(0) = %v, want zero", got)
+	}
+	if got := m.Sample(0.999999); got != ClassRandom {
+		t.Errorf("Sample(~1) = %v, want random", got)
+	}
+}
+
+func TestNewMixValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMix(-1, 1, 1, 1, 1) },
+		func() { NewMix(0, 0, 0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid mix did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDefaultMixIncompressibleFraction(t *testing.T) {
+	// The paper reports ~31% of cold memory incompressible.
+	w := DefaultMix.Weight(ClassRandom)
+	if w < 0.2 || w > 0.4 {
+		t.Errorf("DefaultMix random weight = %.2f, want ~0.3", w)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassText.String() != "text" || Class(42).String() == "" {
+		t.Error("Class.String broken")
+	}
+}

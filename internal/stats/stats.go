@@ -1,0 +1,237 @@
+// Package stats provides the descriptive statistics used by the far-memory
+// evaluation harness: percentiles, empirical CDFs, and the quartile/violin
+// summaries the paper plots for per-machine and per-job distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty input.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentileSorted is like Percentile but assumes xs is already sorted
+// ascending, avoiding a copy. It returns NaN for an empty input.
+func PercentileSorted(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	return percentileSorted(xs, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs, or NaN when fewer
+// than two values are provided.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs, or NaN for an empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary is the five-number quartile summary with 1.5-IQR whiskers, the
+// per-cluster statistic Figure 2 and Figure 6 of the paper plot as
+// box-and-whisker overlays on violins.
+type Summary struct {
+	N          int
+	Mean       float64
+	Median     float64
+	Q1, Q3     float64
+	WhiskerLo  float64 // Q1 - 1.5*IQR, clamped to the observed minimum
+	WhiskerHi  float64 // Q3 + 1.5*IQR, clamped to the observed maximum
+	Min, Max   float64
+	P98, Stdev float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:      len(sorted),
+		Mean:   Mean(sorted),
+		Median: percentileSorted(sorted, 50),
+		Q1:     percentileSorted(sorted, 25),
+		Q3:     percentileSorted(sorted, 75),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P98:    percentileSorted(sorted, 98),
+	}
+	if len(sorted) >= 2 {
+		s.Stdev = Stddev(sorted)
+	}
+	iqr := s.Q3 - s.Q1
+	s.WhiskerLo = math.Max(s.Min, s.Q1-1.5*iqr)
+	s.WhiskerHi = math.Min(s.Max, s.Q3+1.5*iqr)
+	return s
+}
+
+// String renders the summary in a compact single-line form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g median=%.4g q1=%.4g q3=%.4g whiskers=[%.4g,%.4g] p98=%.4g",
+		s.N, s.Mean, s.Median, s.Q1, s.Q3, s.WhiskerLo, s.WhiskerHi, s.P98)
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF over xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// N returns the number of samples underlying the CDF.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0..1) of the samples.
+func (c *CDF) Quantile(q float64) float64 {
+	return PercentileSorted(c.sorted, q*100)
+}
+
+// Points returns up to n evenly spaced (value, cumulative fraction) points
+// suitable for plotting the CDF curve.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / max(1, n-1)
+		pts = append(pts, Point{
+			X: c.sorted[idx],
+			Y: float64(idx+1) / float64(len(c.sorted)),
+		})
+	}
+	return pts
+}
+
+// Point is a single (x, y) sample of a curve.
+type Point struct{ X, Y float64 }
+
+// Histogram bins xs into n equal-width bins over [lo, hi] and returns the
+// per-bin counts. Values outside the range are clamped into the edge bins.
+func Histogram(xs []float64, lo, hi float64, n int) []int {
+	if n <= 0 || hi <= lo {
+		return nil
+	}
+	counts := make([]int, n)
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

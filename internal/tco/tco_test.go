@@ -1,0 +1,96 @@
+package tco
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSavingsFractionPaperNumbers(t *testing.T) {
+	// 32% cold ceiling, 20% coverage, 3x ratio => 4-5% (paper §6.1).
+	got := SavingsFraction(0.32, 0.20, 3)
+	if got < 0.04 || got > 0.05 {
+		t.Errorf("SavingsFraction = %.4f, want 4-5%%", got)
+	}
+}
+
+func TestSavingsFractionEdges(t *testing.T) {
+	if SavingsFraction(0.3, 0.2, 1) != 0 {
+		t.Error("ratio 1 should save nothing")
+	}
+	if SavingsFraction(0.3, 0.2, 0.5) != 0 {
+		t.Error("ratio < 1 should save nothing")
+	}
+	if SavingsFraction(0, 0.2, 3) != 0 {
+		t.Error("no cold memory, no savings")
+	}
+}
+
+func TestSavingsMonotone(t *testing.T) {
+	if SavingsFraction(0.32, 0.25, 3) <= SavingsFraction(0.32, 0.20, 3) {
+		t.Error("more coverage must save more")
+	}
+	if SavingsFraction(0.32, 0.2, 4) <= SavingsFraction(0.32, 0.2, 3) {
+		t.Error("better ratio must save more")
+	}
+}
+
+func TestPerPageCostReduction(t *testing.T) {
+	if got := PerPageCostReduction(3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("3x ratio reduction = %v, want 0.667", got)
+	}
+	if PerPageCostReduction(1) != 0 || PerPageCostReduction(0) != 0 {
+		t.Error("degenerate ratios must be 0")
+	}
+}
+
+func TestModelSavingsDollars(t *testing.T) {
+	m := Model{DRAMCostPerGB: 3, FleetDRAMGB: 100e6}
+	got := m.Savings(0.32, 0.20, 3)
+	// ~4.27% of $300M = ~$12.8M: "millions of dollars at WSC scale".
+	if got < 10e6 || got > 16e6 {
+		t.Errorf("savings = $%.0f, want ~$12.8M", got)
+	}
+}
+
+func TestHardwareSavings(t *testing.T) {
+	nvm := HardwareTier{CostPerGBRelDRAM: 0.5, ProvisionedFraction: 0.2}
+	full := HardwareSavingsFraction(nvm, 1.0)
+	half := HardwareSavingsFraction(nvm, 0.5)
+	if full <= half {
+		t.Error("higher utilization must save more")
+	}
+	// At 50% utilization this tier exactly breaks even.
+	if math.Abs(half) > 1e-12 {
+		t.Errorf("break-even case = %v, want 0", half)
+	}
+	// Stranded capacity loses money.
+	if HardwareSavingsFraction(nvm, 0.2) >= 0 {
+		t.Error("mostly-stranded tier should lose money")
+	}
+	// Utilization clamps.
+	if HardwareSavingsFraction(nvm, 1.5) != full {
+		t.Error("utilization not clamped high")
+	}
+	if HardwareSavingsFraction(nvm, -1) != HardwareSavingsFraction(nvm, 0) {
+		t.Error("utilization not clamped low")
+	}
+}
+
+func TestSoftwareVsStrandedHardware(t *testing.T) {
+	// The §2.1 argument quantified: zswap at the paper's operating point
+	// beats an NVM tier provisioned for 20% of memory when cold-memory
+	// variability leaves that tier half-stranded.
+	software := SavingsFraction(0.32, 0.20, 3)
+	hardware := HardwareSavingsFraction(HardwareTier{CostPerGBRelDRAM: 0.5, ProvisionedFraction: 0.2}, 0.5)
+	if software <= hardware {
+		t.Errorf("software %.4f should beat half-stranded hardware %.4f", software, hardware)
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := Report(0.32, 0.20, 3)
+	if !strings.Contains(r, "coverage=20.0%") || !strings.Contains(r, "ratio=3.0x") {
+		t.Errorf("Report = %q", r)
+	}
+}

@@ -1,0 +1,240 @@
+// Package telemetry implements the trace pipeline between the node agent
+// and the offline far-memory model (§5.2–5.3).
+//
+// Every aggregation interval (5 minutes in production) the node agent
+// exports, per job: the working set size, the cold-age histogram, and the
+// promotion histogram for the interval. The paper stores these over a set
+// of predefined cold-age thresholds rather than all 256 age buckets; this
+// package does the same, recording the *tail sums* at each predefined
+// threshold — exactly the quantities ("cold bytes under T", "promotions
+// under T") the fast model replays — which keeps week-long fleet traces
+// compact.
+package telemetry
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sdfm/internal/histogram"
+)
+
+// DefaultThresholds is the predefined cold-age threshold set, in scan
+// periods (120 s units), spanning 2 minutes to the 8.5-hour age limit with
+// roughly geometric spacing.
+var DefaultThresholds = []int{
+	1, 2, 3, 4, 5, 6, 8, 10, 13, 17, 22, 28, 36, 46, 59, 75, 96, 123, 157, 200, 255,
+}
+
+// DefaultAggregation is the production trace aggregation interval.
+const DefaultAggregation = 5 * time.Minute
+
+// TailsAt evaluates h's tail sums at each threshold (in buckets).
+func TailsAt(h *histogram.Histogram, thresholds []int) []uint64 {
+	tails := h.TailSums()
+	out := make([]uint64, len(thresholds))
+	for i, t := range thresholds {
+		if t < 0 || t >= histogram.NumBuckets {
+			panic(fmt.Sprintf("telemetry: threshold bucket %d out of range", t))
+		}
+		out[i] = tails[t]
+	}
+	return out
+}
+
+// JobKey uniquely identifies a job instance in the fleet.
+type JobKey struct {
+	Cluster string
+	Machine string
+	Job     string
+}
+
+// String renders the key as cluster/machine/job.
+func (k JobKey) String() string {
+	return k.Cluster + "/" + k.Machine + "/" + k.Job
+}
+
+// Entry is one job's far-memory trace record for one aggregation interval.
+type Entry struct {
+	Key JobKey
+	// TimestampSec is the interval end, in simulated seconds.
+	TimestampSec int64
+	// IntervalMinutes is the aggregation interval length.
+	IntervalMinutes float64
+	// WSSPages is the working set (pages accessed within the minimum
+	// threshold) at interval end.
+	WSSPages uint64
+	// TotalPages is the job's total page population.
+	TotalPages uint64
+	// ColdTails[i] is the number of pages idle for at least
+	// Trace.Thresholds[i] scan periods at interval end.
+	ColdTails []uint64
+	// PromoTails[i] is the number of promotions during the interval to
+	// pages whose age was at least Trace.Thresholds[i].
+	PromoTails []uint64
+	// CompressibleFrac is the fraction of the job's cold pages that
+	// actually compress (the rest are incompressible media/ciphertext and
+	// never enter zswap). Zero is treated as 1 for backward compatibility.
+	CompressibleFrac float64
+}
+
+// Validate checks an entry against the trace's threshold set size.
+func (e *Entry) Validate(numThresholds int) error {
+	if len(e.ColdTails) != numThresholds || len(e.PromoTails) != numThresholds {
+		return fmt.Errorf("telemetry: entry %s has %d/%d tails, want %d",
+			e.Key, len(e.ColdTails), len(e.PromoTails), numThresholds)
+	}
+	if e.IntervalMinutes <= 0 {
+		return fmt.Errorf("telemetry: entry %s has interval %v", e.Key, e.IntervalMinutes)
+	}
+	for i := 1; i < len(e.ColdTails); i++ {
+		if e.ColdTails[i] > e.ColdTails[i-1] || e.PromoTails[i] > e.PromoTails[i-1] {
+			return fmt.Errorf("telemetry: entry %s tails not monotone at %d", e.Key, i)
+		}
+	}
+	if e.CompressibleFrac < 0 || e.CompressibleFrac > 1 {
+		return fmt.Errorf("telemetry: entry %s compressible fraction %v outside [0, 1]", e.Key, e.CompressibleFrac)
+	}
+	return nil
+}
+
+// Trace is an ordered collection of entries sharing one threshold set.
+type Trace struct {
+	// ScanPeriodSeconds is the age quantum underlying the thresholds.
+	ScanPeriodSeconds int64
+	// Thresholds is the predefined cold-age threshold set, in scan periods.
+	Thresholds []int
+	Entries    []Entry
+}
+
+// NewTrace creates an empty trace with the default threshold set.
+func NewTrace() *Trace {
+	return &Trace{
+		ScanPeriodSeconds: int64(histogram.DefaultScanPeriod / time.Second),
+		Thresholds:        append([]int(nil), DefaultThresholds...),
+	}
+}
+
+// Append adds an entry after validation.
+func (t *Trace) Append(e Entry) error {
+	if err := e.Validate(len(t.Thresholds)); err != nil {
+		return err
+	}
+	t.Entries = append(t.Entries, e)
+	return nil
+}
+
+// Len returns the number of entries.
+func (t *Trace) Len() int { return len(t.Entries) }
+
+// JobSeries groups entries by job, each series sorted by timestamp. The
+// fast model replays each series independently.
+func (t *Trace) JobSeries() map[JobKey][]Entry {
+	out := make(map[JobKey][]Entry)
+	for _, e := range t.Entries {
+		out[e.Key] = append(out[e.Key], e)
+	}
+	for k := range out {
+		s := out[k]
+		sort.Slice(s, func(i, j int) bool { return s[i].TimestampSec < s[j].TimestampSec })
+	}
+	return out
+}
+
+// Jobs returns the distinct job keys in deterministic order.
+func (t *Trace) Jobs() []JobKey {
+	seen := make(map[JobKey]bool)
+	var keys []JobKey
+	for _, e := range t.Entries {
+		if !seen[e.Key] {
+			seen[e.Key] = true
+			keys = append(keys, e.Key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// ThresholdIndexFor returns the index of the smallest predefined threshold
+// >= bucket, or the last index if bucket exceeds them all.
+func (t *Trace) ThresholdIndexFor(bucket int) int {
+	for i, th := range t.Thresholds {
+		if th >= bucket {
+			return i
+		}
+	}
+	return len(t.Thresholds) - 1
+}
+
+// Save encodes the trace with gob.
+func (t *Trace) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// LoadTrace decodes a trace written by Save.
+func LoadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding trace: %w", err)
+	}
+	for i := range t.Entries {
+		if err := t.Entries[i].Validate(len(t.Thresholds)); err != nil {
+			return nil, err
+		}
+	}
+	return &t, nil
+}
+
+// Collector accumulates per-job interval deltas for export. The node
+// agent feeds it cumulative promotion histograms; the collector converts
+// them to interval tails.
+type Collector struct {
+	trace     *Trace
+	prevPromo map[JobKey][]uint64 // previous cumulative promotion tails
+}
+
+// NewCollector creates a collector writing into trace.
+func NewCollector(trace *Trace) *Collector {
+	return &Collector{trace: trace, prevPromo: make(map[JobKey][]uint64)}
+}
+
+// Record exports one job interval. promoCumulative is the job's cumulative
+// promotion histogram; census the current cold-age census.
+func (c *Collector) Record(key JobKey, now time.Duration, intervalMinutes float64,
+	promoCumulative, census *histogram.Histogram, wssPages uint64) error {
+
+	promoTails := TailsAt(promoCumulative, c.trace.Thresholds)
+	if prev, ok := c.prevPromo[key]; ok {
+		for i := range promoTails {
+			d := promoTails[i] - prev[i]
+			if promoTails[i] < prev[i] {
+				return fmt.Errorf("telemetry: promotion counter for %s went backwards", key)
+			}
+			prev[i] = promoTails[i]
+			promoTails[i] = d
+		}
+		c.prevPromo[key] = prev
+	} else {
+		c.prevPromo[key] = append([]uint64(nil), promoTails...)
+	}
+	e := Entry{
+		Key:             key,
+		TimestampSec:    int64(now / time.Second),
+		IntervalMinutes: intervalMinutes,
+		WSSPages:        wssPages,
+		TotalPages:      census.Total(),
+		ColdTails:       TailsAt(census, c.trace.Thresholds),
+		PromoTails:      promoTails,
+	}
+	return c.trace.Append(e)
+}
+
+// Forget drops interval state for a job that has exited.
+func (c *Collector) Forget(key JobKey) {
+	delete(c.prevPromo, key)
+}
+
+// Trace returns the underlying trace.
+func (c *Collector) Trace() *Trace { return c.trace }

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sdfm/internal/histogram"
+)
+
+func TestTailsAt(t *testing.T) {
+	h := histogram.New(histogram.DefaultScanPeriod)
+	h.Add(0, 100)
+	h.Add(1, 50)
+	h.Add(10, 25)
+	h.Add(255, 5)
+	tails := TailsAt(h, []int{0, 1, 10, 255})
+	want := []uint64{180, 80, 30, 5}
+	for i := range want {
+		if tails[i] != want[i] {
+			t.Errorf("tails[%d] = %d, want %d", i, tails[i], want[i])
+		}
+	}
+}
+
+func TestTailsAtBadThresholdPanics(t *testing.T) {
+	h := histogram.New(histogram.DefaultScanPeriod)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range threshold did not panic")
+		}
+	}()
+	TailsAt(h, []int{300})
+}
+
+func TestDefaultThresholdsSorted(t *testing.T) {
+	for i := 1; i < len(DefaultThresholds); i++ {
+		if DefaultThresholds[i] <= DefaultThresholds[i-1] {
+			t.Fatalf("DefaultThresholds not strictly increasing at %d", i)
+		}
+	}
+	if DefaultThresholds[0] != 1 {
+		t.Error("first threshold must be 1 scan period (120 s)")
+	}
+	if DefaultThresholds[len(DefaultThresholds)-1] != 255 {
+		t.Error("last threshold must be the saturating bucket")
+	}
+}
+
+func validEntry(key JobKey, ts int64) Entry {
+	n := len(DefaultThresholds)
+	cold := make([]uint64, n)
+	promo := make([]uint64, n)
+	for i := range cold {
+		cold[i] = uint64(n - i)
+		promo[i] = uint64(2 * (n - i))
+	}
+	return Entry{
+		Key: key, TimestampSec: ts, IntervalMinutes: 5,
+		WSSPages: 100, TotalPages: 400,
+		ColdTails: cold, PromoTails: promo,
+	}
+}
+
+func TestTraceAppendValidates(t *testing.T) {
+	tr := NewTrace()
+	if err := tr.Append(validEntry(JobKey{"c", "m", "j"}, 300)); err != nil {
+		t.Fatal(err)
+	}
+	bad := validEntry(JobKey{"c", "m", "j"}, 600)
+	bad.ColdTails = bad.ColdTails[:2]
+	if err := tr.Append(bad); err == nil {
+		t.Error("short tails accepted")
+	}
+	bad2 := validEntry(JobKey{"c", "m", "j"}, 600)
+	bad2.PromoTails[3] = bad2.PromoTails[2] + 1 // non-monotone
+	if err := tr.Append(bad2); err == nil {
+		t.Error("non-monotone tails accepted")
+	}
+	bad3 := validEntry(JobKey{"c", "m", "j"}, 600)
+	bad3.IntervalMinutes = 0
+	if err := tr.Append(bad3); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestJobSeriesSorted(t *testing.T) {
+	tr := NewTrace()
+	k1 := JobKey{"c1", "m1", "web"}
+	k2 := JobKey{"c1", "m2", "batch"}
+	tr.Append(validEntry(k1, 600))
+	tr.Append(validEntry(k2, 300))
+	tr.Append(validEntry(k1, 300))
+	series := tr.JobSeries()
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	s1 := series[k1]
+	if len(s1) != 2 || s1[0].TimestampSec != 300 || s1[1].TimestampSec != 600 {
+		t.Errorf("k1 series not sorted: %v", s1)
+	}
+	jobs := tr.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("Jobs() = %v", jobs)
+	}
+	if jobs[0].String() >= jobs[1].String() {
+		t.Error("Jobs() not sorted")
+	}
+}
+
+func TestThresholdIndexFor(t *testing.T) {
+	tr := NewTrace()
+	if got := tr.ThresholdIndexFor(1); got != 0 {
+		t.Errorf("index for bucket 1 = %d, want 0", got)
+	}
+	if got := tr.ThresholdIndexFor(7); tr.Thresholds[got] != 8 {
+		t.Errorf("index for bucket 7 maps to threshold %d, want 8", tr.Thresholds[got])
+	}
+	if got := tr.ThresholdIndexFor(999); got != len(tr.Thresholds)-1 {
+		t.Errorf("index for huge bucket = %d, want last", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(validEntry(JobKey{"c", "m", "a"}, 300))
+	tr.Append(validEntry(JobKey{"c", "m", "b"}, 300))
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.ScanPeriodSeconds != tr.ScanPeriodSeconds {
+		t.Errorf("loaded trace: len=%d period=%d", got.Len(), got.ScanPeriodSeconds)
+	}
+	if got.Entries[0].Key != tr.Entries[0].Key {
+		t.Error("entry key mismatch after round trip")
+	}
+	if got.Entries[0].WSSPages != 100 {
+		t.Error("entry payload mismatch")
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrace(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCollectorDeltas(t *testing.T) {
+	tr := NewTrace()
+	c := NewCollector(tr)
+	key := JobKey{"c", "m", "j"}
+
+	promo := histogram.New(histogram.DefaultScanPeriod)
+	census := histogram.New(histogram.DefaultScanPeriod)
+	census.Add(0, 70)
+	census.Add(5, 30)
+
+	// Interval 1: 10 cumulative promotions at age 5.
+	promo.Add(5, 10)
+	if err := c.Record(key, 5*time.Minute, 5, promo, census, 70); err != nil {
+		t.Fatal(err)
+	}
+	// Interval 2: 4 more promotions (cumulative 14).
+	promo.Add(5, 4)
+	if err := c.Record(key, 10*time.Minute, 5, promo, census, 70); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("trace len = %d", tr.Len())
+	}
+	// First entry carries the full cumulative count (job start), second
+	// only the delta.
+	i5 := tr.ThresholdIndexFor(5)
+	if got := tr.Entries[0].PromoTails[i5]; got != 10 {
+		t.Errorf("interval 1 promos = %d, want 10", got)
+	}
+	if got := tr.Entries[1].PromoTails[i5]; got != 4 {
+		t.Errorf("interval 2 promos = %d, want 4", got)
+	}
+	if tr.Entries[1].TotalPages != 100 {
+		t.Errorf("TotalPages = %d", tr.Entries[1].TotalPages)
+	}
+}
+
+func TestCollectorForget(t *testing.T) {
+	tr := NewTrace()
+	c := NewCollector(tr)
+	key := JobKey{"c", "m", "j"}
+	promo := histogram.New(histogram.DefaultScanPeriod)
+	census := histogram.New(histogram.DefaultScanPeriod)
+	census.Add(0, 10)
+	promo.Add(5, 10)
+	c.Record(key, 5*time.Minute, 5, promo, census, 10)
+	c.Forget(key)
+	// After Forget, a fresh (restarted) job's lower cumulative counter
+	// must not trip the backwards check.
+	promo2 := histogram.New(histogram.DefaultScanPeriod)
+	promo2.Add(5, 2)
+	if err := c.Record(key, 10*time.Minute, 5, promo2, census, 10); err != nil {
+		t.Fatalf("Record after Forget: %v", err)
+	}
+}
+
+func TestJobKeyString(t *testing.T) {
+	k := JobKey{"cluster-a", "m01", "bigtable"}
+	if k.String() != "cluster-a/m01/bigtable" {
+		t.Errorf("String = %q", k.String())
+	}
+}

@@ -1,0 +1,149 @@
+// Package thermostat implements the sampling-based cold-page detector of
+// Agarwal & Wenisch ("Thermostat", ASPLOS 2017), the closest prior work
+// the paper compares its accessed-bit mechanism against (§7).
+//
+// Thermostat estimates page temperature by poisoning a random sample of
+// page mappings each interval: an access to a poisoned page takes a page
+// fault (expensive, and felt by the application), which both reveals the
+// access and un-poisons the page. Sampled pages that survive an interval
+// unfaulted are inferred cold, and the sample statistics extrapolate to
+// the whole job.
+//
+// The paper's critique, which this implementation lets us quantify: the
+// sampling approach trades detection accuracy against induced-fault
+// overhead on hot pages, whereas kstaled's accessed-bit scan observes
+// every page at a fixed, modest cost (Figure: BenchmarkThermostatVsKstaled).
+package thermostat
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sdfm/internal/mem"
+)
+
+// DefaultFaultCost is the modelled cost of one induced minor fault
+// (trap, fixup, TLB shootdown amortization) charged to the application.
+const DefaultFaultCost = 3 * time.Microsecond
+
+// Detector estimates a memcg's cold fraction by PTE-poison sampling.
+type Detector struct {
+	m          *mem.Memcg
+	sampleFrac float64
+	faultCost  time.Duration
+	rng        *rand.Rand
+
+	poisoned map[mem.PageID]bool
+	sampled  int
+
+	// Cumulative accounting.
+	intervals     int
+	inducedFaults int
+	faultCPU      time.Duration
+
+	estimate float64
+	haveEst  bool
+}
+
+// Config configures a Detector.
+type Config struct {
+	// SampleFraction of pages poisoned each interval (default 0.01, the
+	// small sample Thermostat uses to bound fault overhead).
+	SampleFraction float64
+	// FaultCost per induced fault (default DefaultFaultCost).
+	FaultCost time.Duration
+	// Rng drives sampling; required for determinism.
+	Rng *rand.Rand
+}
+
+// New creates a detector for m.
+func New(m *mem.Memcg, cfg Config) (*Detector, error) {
+	if cfg.SampleFraction == 0 {
+		cfg.SampleFraction = 0.01
+	}
+	if cfg.SampleFraction < 0 || cfg.SampleFraction > 1 {
+		return nil, fmt.Errorf("thermostat: sample fraction %v outside [0, 1]", cfg.SampleFraction)
+	}
+	if cfg.FaultCost == 0 {
+		cfg.FaultCost = DefaultFaultCost
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("thermostat: nil rng")
+	}
+	return &Detector{
+		m:          m,
+		sampleFrac: cfg.SampleFraction,
+		faultCost:  cfg.FaultCost,
+		rng:        cfg.Rng,
+		poisoned:   make(map[mem.PageID]bool),
+	}, nil
+}
+
+// BeginInterval poisons a fresh random sample of mappable pages.
+func (d *Detector) BeginInterval() {
+	for id := range d.poisoned {
+		delete(d.poisoned, id)
+	}
+	d.sampled = 0
+	n := d.m.NumPages()
+	want := int(float64(n) * d.sampleFrac)
+	if want < 1 {
+		want = 1
+	}
+	for d.sampled < want {
+		id := mem.PageID(d.rng.Intn(n))
+		if d.poisoned[id] {
+			continue
+		}
+		p := d.m.Page(id)
+		if p.Has(mem.FlagMlocked) || p.Has(mem.FlagUnevictable) {
+			continue
+		}
+		d.poisoned[id] = true
+		d.sampled++
+	}
+}
+
+// OnAccess is the fault hook: the workload driver calls it for every page
+// access. Accesses to poisoned pages take an induced fault and un-poison
+// the page; all other accesses are free.
+func (d *Detector) OnAccess(id mem.PageID) {
+	if d.poisoned[id] {
+		delete(d.poisoned, id)
+		d.inducedFaults++
+		d.faultCPU += d.faultCost
+	}
+}
+
+// EndInterval classifies the surviving poisoned pages as cold and folds
+// the sample's cold fraction into a running exponential average.
+func (d *Detector) EndInterval() {
+	if d.sampled == 0 {
+		return
+	}
+	coldFrac := float64(len(d.poisoned)) / float64(d.sampled)
+	if !d.haveEst {
+		d.estimate = coldFrac
+		d.haveEst = true
+	} else {
+		const alpha = 0.3
+		d.estimate = alpha*coldFrac + (1-alpha)*d.estimate
+	}
+	d.intervals++
+}
+
+// ColdFractionEstimate returns the detector's current estimate of the
+// fraction of the job's pages idle for at least one sampling interval.
+func (d *Detector) ColdFractionEstimate() float64 { return d.estimate }
+
+// Intervals returns completed sampling intervals.
+func (d *Detector) Intervals() int { return d.intervals }
+
+// InducedFaults returns the total faults the detector has inflicted on
+// the application, with their modelled CPU cost. This is Thermostat's
+// price for visibility; kstaled pays a fixed scan cost instead and never
+// perturbs the application.
+func (d *Detector) InducedFaults() (int, time.Duration) {
+	return d.inducedFaults, d.faultCPU
+}

@@ -1,0 +1,148 @@
+package thermostat
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sdfm/internal/kstaled"
+	"sdfm/internal/mem"
+	"sdfm/internal/simtime"
+	"sdfm/internal/workload"
+)
+
+func newFixture(t *testing.T, frac float64) (*Detector, *mem.Memcg, *workload.Workload) {
+	t.Helper()
+	w, err := workload.New(workload.Config{Archetype: workload.LogProcessor, Name: "th", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemcg(w.MemcgConfig(7))
+	d, err := New(m, Config{SampleFraction: frac, Rng: simtime.Rand(1, "thermostat")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m, w
+}
+
+func TestNewValidation(t *testing.T) {
+	m := mem.NewMemcg(mem.Config{Name: "x", Pages: 10, Mix: workload.LogProcessor.Mix})
+	if _, err := New(m, Config{Rng: nil}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := New(m, Config{SampleFraction: 2, Rng: simtime.Rand(1, "x")}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestSamplingBasics(t *testing.T) {
+	d, m, _ := newFixture(t, 0.05)
+	d.BeginInterval()
+	if d.sampled < m.NumPages()/25 || d.sampled > m.NumPages()/15 {
+		t.Errorf("sampled %d of %d pages at 5%%", d.sampled, m.NumPages())
+	}
+	// No accesses: the whole sample is classified cold.
+	d.EndInterval()
+	if got := d.ColdFractionEstimate(); got != 1 {
+		t.Errorf("estimate with no accesses = %v, want 1", got)
+	}
+	// Touch everything: nothing survives poisoned.
+	d.BeginInterval()
+	for i := 0; i < m.NumPages(); i++ {
+		d.OnAccess(mem.PageID(i))
+	}
+	d.EndInterval()
+	if got := d.ColdFractionEstimate(); got > 0.8 {
+		t.Errorf("estimate after touching all pages = %v, want decayed toward 0", got)
+	}
+	faults, cpu := d.InducedFaults()
+	if faults != d.sampled || cpu != time.Duration(faults)*DefaultFaultCost {
+		t.Errorf("faults = %d, cpu = %v", faults, cpu)
+	}
+}
+
+func TestEstimateConvergesToTruth(t *testing.T) {
+	// Drive the detector with a real workload and compare its estimate to
+	// ground truth from a full kstaled census over the same period.
+	d, m, w := newFixture(t, 0.05)
+	tracker := kstaled.NewTracker(m, kstaled.Config{})
+	interval := kstaled.DefaultScanPeriod
+
+	for step := 1; step <= 90; step++ {
+		now := time.Duration(step) * interval
+		d.BeginInterval()
+		w.Tick(now, func(id mem.PageID, write bool) {
+			d.OnAccess(id)
+			m.Touch(id, write)
+		})
+		d.EndInterval()
+		tracker.Scan()
+	}
+	truth := float64(tracker.Census().TailSum(1)) / float64(m.NumPages())
+	est := d.ColdFractionEstimate()
+	if math.Abs(est-truth) > 0.12 {
+		t.Errorf("thermostat estimate %.3f vs kstaled truth %.3f", est, truth)
+	}
+}
+
+func TestOverheadComparison(t *testing.T) {
+	// The paper's §7 point quantified: the induced-fault cost of sampling
+	// scales with sample hotness and is charged to the application, while
+	// kstaled's scan cost is fixed and background. With bigger samples
+	// (higher accuracy), thermostat's overhead grows; kstaled's does not.
+	run := func(frac float64) (time.Duration, time.Duration) {
+		d, m, w := newFixture(t, frac)
+		tracker := kstaled.NewTracker(m, kstaled.Config{})
+		interval := kstaled.DefaultScanPeriod
+		for step := 1; step <= 30; step++ {
+			now := time.Duration(step) * interval
+			d.BeginInterval()
+			w.Tick(now, func(id mem.PageID, write bool) {
+				d.OnAccess(id)
+				m.Touch(id, write)
+			})
+			d.EndInterval()
+			tracker.Scan()
+		}
+		_, faultCPU := d.InducedFaults()
+		return faultCPU, tracker.CPUTime()
+	}
+	smallFault, scan := run(0.01)
+	bigFault, scan2 := run(0.20)
+	if bigFault <= smallFault {
+		t.Errorf("fault overhead should grow with sample size: %v vs %v", bigFault, smallFault)
+	}
+	if scan != scan2 {
+		t.Errorf("kstaled cost should be sample-independent: %v vs %v", scan, scan2)
+	}
+	if smallFault == 0 {
+		t.Error("no induced faults; workload not hitting samples")
+	}
+}
+
+func TestMlockedPagesNeverPoisoned(t *testing.T) {
+	m := mem.NewMemcg(mem.Config{
+		Name: "x", Pages: 100, Mix: workload.LogProcessor.Mix, MlockedFraction: 0.5,
+	})
+	d, err := New(m, Config{SampleFraction: 0.3, Rng: simtime.Rand(2, "th")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.BeginInterval()
+	for id := range d.poisoned {
+		if m.Page(id).Has(mem.FlagMlocked) {
+			t.Fatalf("mlocked page %d poisoned", id)
+		}
+	}
+}
+
+func TestIntervalsCounter(t *testing.T) {
+	d, _, _ := newFixture(t, 0.02)
+	for i := 0; i < 3; i++ {
+		d.BeginInterval()
+		d.EndInterval()
+	}
+	if d.Intervals() != 3 {
+		t.Errorf("Intervals = %d", d.Intervals())
+	}
+}

@@ -1,0 +1,323 @@
+// Package tuner implements the ML-based autotuning pipeline (§5.3): a
+// GP-Bandit loop that searches the control-plane parameter space (K, S)
+// against the fast far-memory model, maximizing fleet cold memory subject
+// to the 98th-percentile promotion-rate SLO, plus the heuristic baseline
+// it replaced and the staged qualification/deployment step that guards
+// production.
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/gp"
+	"sdfm/internal/model"
+)
+
+// Space is the parameter search space.
+type Space struct {
+	KMin, KMax float64
+	SMin, SMax time.Duration
+}
+
+// DefaultSpace covers the plausible operating range: percentiles from the
+// median to just under 100, warmups from zero to two hours.
+var DefaultSpace = Space{KMin: 50, KMax: 99.9, SMin: 0, SMax: 2 * time.Hour}
+
+// Validate checks the space.
+func (s Space) Validate() error {
+	if s.KMin < 0 || s.KMax > 100 || s.KMin >= s.KMax {
+		return fmt.Errorf("tuner: invalid K range [%v, %v]", s.KMin, s.KMax)
+	}
+	if s.SMin < 0 || s.SMin >= s.SMax {
+		return fmt.Errorf("tuner: invalid S range [%v, %v]", s.SMin, s.SMax)
+	}
+	return nil
+}
+
+// Normalize maps params into the unit square.
+func (s Space) Normalize(p core.Params) []float64 {
+	return []float64{
+		(p.K - s.KMin) / (s.KMax - s.KMin),
+		float64(p.S-s.SMin) / float64(s.SMax-s.SMin),
+	}
+}
+
+// Denormalize maps a unit-square point back to params, clamping to the
+// space.
+func (s Space) Denormalize(x []float64) core.Params {
+	k := s.KMin + clamp01(x[0])*(s.KMax-s.KMin)
+	sec := float64(s.SMin) + clamp01(x[1])*float64(s.SMax-s.SMin)
+	return core.Params{K: k, S: time.Duration(sec)}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Objective evaluates a parameter configuration, typically by replaying a
+// fleet trace through the fast model.
+type Objective func(core.Params) (model.FleetResult, error)
+
+// Observation is one evaluated configuration.
+type Observation struct {
+	Params   core.Params
+	Result   model.FleetResult
+	Score    float64
+	Feasible bool
+}
+
+// Config configures the GP-Bandit loop.
+type Config struct {
+	Space Space
+	SLO   core.SLO
+	// InitSamples seeds the GP before banditry begins (default 5).
+	InitSamples int
+	// Iterations is the number of GP-guided evaluations (default 15).
+	Iterations int
+	// Candidates is the number of random points scored by UCB per
+	// iteration (default 512).
+	Candidates int
+	// Seed drives the deterministic candidate sampler.
+	Seed int64
+	// NoiseVar is the GP observation noise (default 1e-4: the model is
+	// deterministic, so observation noise is tiny).
+	NoiseVar float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Space == (Space{}) {
+		c.Space = DefaultSpace
+	}
+	if c.InitSamples == 0 {
+		c.InitSamples = 5
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 15
+	}
+	if c.Candidates == 0 {
+		c.Candidates = 512
+	}
+	if c.NoiseVar == 0 {
+		c.NoiseVar = 1e-4
+	}
+}
+
+// Result is the autotuning outcome.
+type Result struct {
+	Best    Observation
+	History []Observation
+}
+
+// Score turns a model result into the scalar the GP maximizes: coverage
+// when the SLO constraint holds, and a negative infeasibility penalty
+// otherwise so the GP learns where the constraint boundary lies.
+func Score(r model.FleetResult, slo core.SLO) (float64, bool) {
+	if r.P98Rate <= slo.TargetRatePerMin {
+		return r.Coverage, true
+	}
+	excess := r.P98Rate/slo.TargetRatePerMin - 1
+	if excess > 10 {
+		excess = 10
+	}
+	return -excess, false
+}
+
+// Autotune runs the GP-Bandit pipeline: seed the design, then iterate
+// fit-GP → maximize UCB over candidates → evaluate with the model → add
+// the observation (§5.3 steps 1–3).
+func Autotune(obj Objective, cfg Config) (Result, error) {
+	cfg.fillDefaults()
+	if err := cfg.Space.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var res Result
+	evaluate := func(p core.Params) error {
+		fr, err := obj(p)
+		if err != nil {
+			return fmt.Errorf("tuner: evaluating %+v: %w", p, err)
+		}
+		score, feasible := Score(fr, cfg.SLO)
+		res.History = append(res.History, Observation{
+			Params: p, Result: fr, Score: score, Feasible: feasible,
+		})
+		return nil
+	}
+
+	// Seed design: corners biased toward the feasible (conservative)
+	// region, the centre, then stratified random points.
+	seeds := []core.Params{
+		{K: cfg.Space.KMax, S: cfg.Space.SMax},
+		{K: cfg.Space.KMax, S: cfg.Space.SMin},
+		{K: (cfg.Space.KMin + cfg.Space.KMax) / 2, S: (cfg.Space.SMin + cfg.Space.SMax) / 2},
+	}
+	for len(seeds) < cfg.InitSamples {
+		seeds = append(seeds, cfg.Space.Denormalize([]float64{rng.Float64(), rng.Float64()}))
+	}
+	for _, p := range seeds[:cfg.InitSamples] {
+		if err := evaluate(p); err != nil {
+			return Result{}, err
+		}
+	}
+
+	for t := 1; t <= cfg.Iterations; t++ {
+		g := gp.New(gpKernel(res.History, cfg), cfg.NoiseVar)
+		for _, o := range res.History {
+			g.Add(cfg.Space.Normalize(o.Params), o.Score)
+		}
+		if err := g.Fit(); err != nil {
+			return Result{}, err
+		}
+		beta := gp.UCBBeta(t, cfg.Candidates)
+		var bestX []float64
+		bestU := math.Inf(-1)
+		for c := 0; c < cfg.Candidates; c++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			u, err := g.UCB(x, beta)
+			if err != nil {
+				return Result{}, err
+			}
+			if u > bestU {
+				bestU = u
+				bestX = x
+			}
+		}
+		if err := evaluate(cfg.Space.Denormalize(bestX)); err != nil {
+			return Result{}, err
+		}
+	}
+
+	best, err := pickBest(res.History)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Best = best
+	return res, nil
+}
+
+// gpKernel selects hyperparameters by marginal likelihood once enough
+// observations exist, falling back to a sensible default.
+func gpKernel(history []Observation, cfg Config) gp.Kernel {
+	fallback := gp.RBF{Variance: 1, LengthScales: []float64{0.25, 0.25}}
+	if len(history) < 6 {
+		return fallback
+	}
+	xs := make([][]float64, len(history))
+	ys := make([]float64, len(history))
+	for i, o := range history {
+		xs[i] = cfg.Space.Normalize(o.Params)
+		ys[i] = o.Score
+	}
+	k, err := gp.FitHyperparams(xs, ys, cfg.NoiseVar)
+	if err != nil {
+		return fallback
+	}
+	return k
+}
+
+func pickBest(history []Observation) (Observation, error) {
+	if len(history) == 0 {
+		return Observation{}, fmt.Errorf("tuner: no observations")
+	}
+	best := history[0]
+	for _, o := range history[1:] {
+		if betterThan(o, best) {
+			best = o
+		}
+	}
+	return best, nil
+}
+
+// betterThan prefers feasible over infeasible, then higher score.
+func betterThan(a, b Observation) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.Score > b.Score
+}
+
+// HeuristicTune is the pre-autotuner baseline: evaluate a handful of
+// educated-guess configurations (the paper's months-long manual A/B
+// process compressed to its logical structure) and keep the best feasible
+// one.
+func HeuristicTune(obj Objective, candidates []core.Params, slo core.SLO) (Result, error) {
+	if len(candidates) == 0 {
+		return Result{}, fmt.Errorf("tuner: no heuristic candidates")
+	}
+	var res Result
+	for _, p := range candidates {
+		fr, err := obj(p)
+		if err != nil {
+			return Result{}, err
+		}
+		score, feasible := Score(fr, slo)
+		res.History = append(res.History, Observation{Params: p, Result: fr, Score: score, Feasible: feasible})
+	}
+	best, err := pickBest(res.History)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Best = best
+	return res, nil
+}
+
+// DefaultHeuristicCandidates are the conservative educated guesses a
+// hand-tuning process tries when every candidate must be safe enough to
+// A/B in production: near-maximal percentiles and generous warmups. The
+// offline model lets the GP-Bandit explore far closer to the SLO boundary
+// than a human would risk, which is where its coverage gain comes from
+// (§5.3, Figure 5).
+var DefaultHeuristicCandidates = []core.Params{
+	{K: 99.9, S: 2 * time.Hour},
+	{K: 99.5, S: 90 * time.Minute},
+	{K: 99, S: 60 * time.Minute},
+}
+
+// DeploymentDecision reports a staged-rollout qualification outcome.
+type DeploymentDecision struct {
+	Accepted bool
+	Chosen   core.Params
+	// QualResult is the candidate's result on the qualification slice.
+	QualResult model.FleetResult
+	Reason     string
+}
+
+// QualifyAndDeploy gates a candidate configuration behind a qualification
+// run (a holdout objective, e.g. the model on a later trace slice) before
+// fleet-wide deployment, rolling back to the incumbent on SLO violation —
+// the multi-stage deployment with monitoring and rollback of §5.3.
+func QualifyAndDeploy(candidate, incumbent core.Params, holdout Objective, slo core.SLO) (DeploymentDecision, error) {
+	fr, err := holdout(candidate)
+	if err != nil {
+		return DeploymentDecision{}, fmt.Errorf("tuner: qualification run: %w", err)
+	}
+	if fr.P98Rate > slo.TargetRatePerMin {
+		return DeploymentDecision{
+			Accepted:   false,
+			Chosen:     incumbent,
+			QualResult: fr,
+			Reason: fmt.Sprintf("qualification p98 rate %.5f exceeds SLO %.5f; rolled back",
+				fr.P98Rate, slo.TargetRatePerMin),
+		}, nil
+	}
+	return DeploymentDecision{
+		Accepted:   true,
+		Chosen:     candidate,
+		QualResult: fr,
+		Reason:     fmt.Sprintf("qualification passed with coverage %.3f", fr.Coverage),
+	}, nil
+}

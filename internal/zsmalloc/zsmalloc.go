@@ -1,0 +1,325 @@
+// Package zsmalloc implements the compressed-object arena backing zswap.
+//
+// It mirrors the Linux zsmalloc design at the level the paper depends on:
+// objects are rounded up to a size class and packed into "zspages" (fixed
+// multi-page blocks), handles are indirect so objects can migrate during
+// compaction, and fragmentation is the gap between physical zspage memory
+// and stored payload bytes. The paper maintains one global arena per
+// machine with an explicit compaction interface triggered by the node
+// agent, having found that per-memcg arenas fragment badly when machines
+// pack tens or hundreds of jobs (§5.1); both configurations are available
+// here so that finding can be reproduced.
+package zsmalloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+const (
+	// PageSize is the machine page size.
+	PageSize = 4096
+	// ZspagePages is the number of physical pages per zspage.
+	ZspagePages = 4
+	// ZspageBytes is the byte size of one zspage.
+	ZspageBytes = PageSize * ZspagePages
+	// ClassGranularity is the spacing between size classes.
+	ClassGranularity = 32
+	// MaxObjectSize is the largest payload the arena accepts. Larger
+	// payloads should be rejected by the caller (zswap rejects anything
+	// above its incompressibility cutoff before reaching the arena).
+	MaxObjectSize = PageSize
+)
+
+// Handle identifies a stored object. Handles are stable across compaction.
+type Handle uint64
+
+// InvalidHandle is the zero Handle; Alloc never returns it.
+const InvalidHandle Handle = 0
+
+type location struct {
+	class  int
+	zspage *zspage
+	slot   int
+}
+
+type zspage struct {
+	id       uint64
+	class    int
+	slotSize int
+	used     int      // occupied slots
+	slots    []Handle // InvalidHandle when free
+	payloads [][]byte // parallel to slots; nil unless payload retained
+	sizes    []int    // payload size per slot
+}
+
+func (z *zspage) capacity() int { return len(z.slots) }
+
+func (z *zspage) findFree() int {
+	for i, h := range z.slots {
+		if h == InvalidHandle {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arena is a compressed-object allocator. It is not safe for concurrent
+// use; callers serialize access (the simulator is single-threaded per
+// machine).
+type Arena struct {
+	nextHandle uint64
+	nextZspage uint64
+	classes    [][]*zspage // per class: zspages with at least one object or free slot
+	locations  map[Handle]location
+	retain     bool // keep payload bytes (vs. metadata-only simulation)
+
+	payloadBytes uint64 // sum of stored payload sizes
+	objects      int
+}
+
+// Option configures an Arena.
+type Option func(*Arena)
+
+// RetainPayloads makes the arena keep the actual compressed bytes so they
+// can be returned verbatim by Get. Without it the arena tracks only sizes,
+// which is sufficient (and much cheaper) for large-scale simulation.
+func RetainPayloads() Option {
+	return func(a *Arena) { a.retain = true }
+}
+
+// New creates an empty arena.
+func New(opts ...Option) *Arena {
+	a := &Arena{
+		classes:   make([][]*zspage, numClasses()),
+		locations: make(map[Handle]location),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+func numClasses() int {
+	return (MaxObjectSize + ClassGranularity - 1) / ClassGranularity
+}
+
+// classFor returns the size-class index for a payload of n bytes.
+func classFor(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("zsmalloc: invalid object size %d", n))
+	}
+	return (n - 1) / ClassGranularity
+}
+
+// ClassSize returns the rounded slot size for a payload of n bytes.
+func ClassSize(n int) int {
+	return (classFor(n) + 1) * ClassGranularity
+}
+
+// Alloc stores an object of len(payload) bytes (or, when payloads are not
+// retained, an object of the given size with nil payload) and returns its
+// handle.
+func (a *Arena) Alloc(size int, payload []byte) (Handle, error) {
+	if size <= 0 || size > MaxObjectSize {
+		return InvalidHandle, fmt.Errorf("zsmalloc: object size %d outside (0, %d]", size, MaxObjectSize)
+	}
+	if payload != nil && len(payload) != size {
+		return InvalidHandle, fmt.Errorf("zsmalloc: payload length %d != size %d", len(payload), size)
+	}
+	class := classFor(size)
+	zp := a.findZspageWithSpace(class)
+	if zp == nil {
+		zp = a.newZspage(class)
+	}
+	slot := zp.findFree()
+	if slot < 0 {
+		panic("zsmalloc: zspage reported space but has no free slot")
+	}
+	a.nextHandle++
+	h := Handle(a.nextHandle)
+	zp.slots[slot] = h
+	zp.sizes[slot] = size
+	if a.retain && payload != nil {
+		zp.payloads[slot] = append([]byte(nil), payload...)
+	}
+	zp.used++
+	a.locations[h] = location{class: class, zspage: zp, slot: slot}
+	a.payloadBytes += uint64(size)
+	a.objects++
+	return h, nil
+}
+
+func (a *Arena) findZspageWithSpace(class int) *zspage {
+	for _, zp := range a.classes[class] {
+		if zp.used < zp.capacity() {
+			return zp
+		}
+	}
+	return nil
+}
+
+func (a *Arena) newZspage(class int) *zspage {
+	slotSize := (class + 1) * ClassGranularity
+	n := ZspageBytes / slotSize
+	if n == 0 {
+		n = 1
+	}
+	a.nextZspage++
+	zp := &zspage{
+		id:       a.nextZspage,
+		class:    class,
+		slotSize: slotSize,
+		slots:    make([]Handle, n),
+		sizes:    make([]int, n),
+	}
+	if a.retain {
+		zp.payloads = make([][]byte, n)
+	}
+	a.classes[class] = append(a.classes[class], zp)
+	return zp
+}
+
+// Size returns the stored payload size for h.
+func (a *Arena) Size(h Handle) (int, error) {
+	loc, ok := a.locations[h]
+	if !ok {
+		return 0, fmt.Errorf("zsmalloc: unknown handle %d", h)
+	}
+	return loc.zspage.sizes[loc.slot], nil
+}
+
+// Get returns the stored payload for h. It returns nil (with no error)
+// when the arena does not retain payloads.
+func (a *Arena) Get(h Handle) ([]byte, error) {
+	loc, ok := a.locations[h]
+	if !ok {
+		return nil, fmt.Errorf("zsmalloc: unknown handle %d", h)
+	}
+	if !a.retain {
+		return nil, nil
+	}
+	return loc.zspage.payloads[loc.slot], nil
+}
+
+// Free releases the object identified by h. Fully empty zspages are
+// returned to the system immediately.
+func (a *Arena) Free(h Handle) error {
+	loc, ok := a.locations[h]
+	if !ok {
+		return fmt.Errorf("zsmalloc: unknown handle %d", h)
+	}
+	zp := loc.zspage
+	a.payloadBytes -= uint64(zp.sizes[loc.slot])
+	a.objects--
+	zp.slots[loc.slot] = InvalidHandle
+	zp.sizes[loc.slot] = 0
+	if zp.payloads != nil {
+		zp.payloads[loc.slot] = nil
+	}
+	zp.used--
+	delete(a.locations, h)
+	if zp.used == 0 {
+		a.releaseZspage(zp)
+	}
+	return nil
+}
+
+func (a *Arena) releaseZspage(zp *zspage) {
+	list := a.classes[zp.class]
+	for i, z := range list {
+		if z == zp {
+			a.classes[zp.class] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Compact migrates objects between zspages of the same class so that
+// partially-empty zspages can be released. It returns the number of bytes
+// of physical memory reclaimed. Handles remain valid.
+func (a *Arena) Compact() uint64 {
+	var reclaimed uint64
+	for class, list := range a.classes {
+		if len(list) < 2 {
+			continue
+		}
+		// Fill the fullest zspages first using objects from the emptiest.
+		sorted := append([]*zspage(nil), list...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].used > sorted[j].used })
+		dst, src := 0, len(sorted)-1
+		for dst < src {
+			d, s := sorted[dst], sorted[src]
+			if d.used == d.capacity() {
+				dst++
+				continue
+			}
+			if s.used == 0 {
+				src--
+				continue
+			}
+			// Move one object from s to d.
+			from := -1
+			for i, h := range s.slots {
+				if h != InvalidHandle {
+					from = i
+					break
+				}
+			}
+			to := d.findFree()
+			h := s.slots[from]
+			d.slots[to] = h
+			d.sizes[to] = s.sizes[from]
+			if d.payloads != nil {
+				d.payloads[to] = s.payloads[from]
+				s.payloads[from] = nil
+			}
+			d.used++
+			s.slots[from] = InvalidHandle
+			s.sizes[from] = 0
+			s.used--
+			a.locations[h] = location{class: class, zspage: d, slot: to}
+		}
+		// Release emptied zspages.
+		kept := list[:0]
+		for _, zp := range list {
+			if zp.used == 0 {
+				reclaimed += ZspageBytes
+			} else {
+				kept = append(kept, zp)
+			}
+		}
+		a.classes[class] = kept
+	}
+	return reclaimed
+}
+
+// Stats describes the arena's memory accounting.
+type Stats struct {
+	Objects       int    // live objects
+	Zspages       int    // live zspages
+	PhysicalBytes uint64 // zspages * ZspageBytes: DRAM actually consumed
+	PayloadBytes  uint64 // sum of stored payload sizes
+	SlotBytes     uint64 // sum of rounded class sizes of live objects
+}
+
+// Fragmentation is the fraction of physical bytes not holding payload.
+func (s Stats) Fragmentation() float64 {
+	if s.PhysicalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.PayloadBytes)/float64(s.PhysicalBytes)
+}
+
+// Stats returns current accounting.
+func (a *Arena) Stats() Stats {
+	st := Stats{Objects: a.objects, PayloadBytes: a.payloadBytes}
+	for _, list := range a.classes {
+		for _, zp := range list {
+			st.Zspages++
+			st.PhysicalBytes += ZspageBytes
+			st.SlotBytes += uint64(zp.used * zp.slotSize)
+		}
+	}
+	return st
+}

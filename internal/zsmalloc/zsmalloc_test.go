@@ -1,0 +1,363 @@
+package zsmalloc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 32}, {32, 32}, {33, 64}, {100, 128}, {2990, 2976 + 32}, {4096, 4096},
+	}
+	for _, c := range cases {
+		if got := ClassSize(c.n); got != c.want {
+			t.Errorf("ClassSize(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestClassSizePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClassSize(0) did not panic")
+		}
+	}()
+	ClassSize(0)
+}
+
+func TestAllocFreeBasic(t *testing.T) {
+	a := New()
+	h, err := a.Alloc(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == InvalidHandle {
+		t.Fatal("got InvalidHandle")
+	}
+	if sz, _ := a.Size(h); sz != 100 {
+		t.Errorf("Size = %d, want 100", sz)
+	}
+	st := a.Stats()
+	if st.Objects != 1 || st.PayloadBytes != 100 || st.Zspages != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SlotBytes != 128 {
+		t.Errorf("SlotBytes = %d, want 128", st.SlotBytes)
+	}
+	if err := a.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	st = a.Stats()
+	if st.Objects != 0 || st.PhysicalBytes != 0 {
+		t.Errorf("stats after free = %+v", st)
+	}
+}
+
+func TestAllocRejectsBadSizes(t *testing.T) {
+	a := New()
+	if _, err := a.Alloc(0, nil); err == nil {
+		t.Error("Alloc(0) accepted")
+	}
+	if _, err := a.Alloc(MaxObjectSize+1, nil); err == nil {
+		t.Error("Alloc(>max) accepted")
+	}
+	if _, err := a.Alloc(10, make([]byte, 5)); err == nil {
+		t.Error("Alloc with mismatched payload length accepted")
+	}
+}
+
+func TestFreeUnknownHandle(t *testing.T) {
+	a := New()
+	if err := a.Free(Handle(42)); err == nil {
+		t.Error("Free of unknown handle succeeded")
+	}
+	if _, err := a.Size(Handle(42)); err == nil {
+		t.Error("Size of unknown handle succeeded")
+	}
+	if _, err := a.Get(Handle(42)); err == nil {
+		t.Error("Get of unknown handle succeeded")
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := New()
+	h, _ := a.Alloc(64, nil)
+	if err := a.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(h); err == nil {
+		t.Error("double free succeeded")
+	}
+}
+
+func TestRetainPayloads(t *testing.T) {
+	a := New(RetainPayloads())
+	payload := []byte("compressed page bytes here")
+	h, err := a.Alloc(len(payload), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's buffer must not affect the stored copy.
+	payload[0] = 'X'
+	got, err := a.Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("compressed page bytes here")) {
+		t.Errorf("Get = %q", got)
+	}
+}
+
+func TestGetWithoutRetention(t *testing.T) {
+	a := New()
+	h, _ := a.Alloc(10, nil)
+	got, err := a.Get(h)
+	if err != nil || got != nil {
+		t.Errorf("Get = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestZspagePacking(t *testing.T) {
+	a := New()
+	// 1024-byte class: 16384/1024 = 16 objects per zspage.
+	var hs []Handle
+	for i := 0; i < 16; i++ {
+		h, err := a.Alloc(1024, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if st := a.Stats(); st.Zspages != 1 {
+		t.Errorf("16 x 1024B objects used %d zspages, want 1", st.Zspages)
+	}
+	if h, _ := a.Alloc(1024, nil); h == InvalidHandle {
+		t.Fatal("17th alloc failed")
+	} else if st := a.Stats(); st.Zspages != 2 {
+		t.Errorf("17 objects used %d zspages, want 2", st.Zspages)
+	}
+	for _, h := range hs {
+		if err := a.Free(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := a.Stats(); st.Zspages != 1 {
+		t.Errorf("after freeing first zspage: %d zspages, want 1", st.Zspages)
+	}
+}
+
+func TestFragmentationAndCompaction(t *testing.T) {
+	a := New()
+	// Fill 8 zspages with 1024B objects, then free 15 of every 16 to
+	// leave each zspage nearly empty.
+	var hs []Handle
+	for i := 0; i < 16*8; i++ {
+		h, err := a.Alloc(1024, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	for i, h := range hs {
+		if i%16 != 0 {
+			if err := a.Free(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := a.Stats()
+	if st.Zspages != 8 {
+		t.Fatalf("zspages = %d, want 8 before compaction", st.Zspages)
+	}
+	if st.Fragmentation() < 0.9 {
+		t.Errorf("fragmentation = %.2f, want > 0.9", st.Fragmentation())
+	}
+	reclaimed := a.Compact()
+	st = a.Stats()
+	if st.Zspages != 1 {
+		t.Errorf("zspages after compaction = %d, want 1", st.Zspages)
+	}
+	if reclaimed != 7*ZspageBytes {
+		t.Errorf("reclaimed = %d, want %d", reclaimed, 7*ZspageBytes)
+	}
+	// All surviving handles must still resolve.
+	for i, h := range hs {
+		if i%16 == 0 {
+			if sz, err := a.Size(h); err != nil || sz != 1024 {
+				t.Errorf("handle %d broken after compaction: %d, %v", h, sz, err)
+			}
+		}
+	}
+}
+
+func TestCompactionPreservesPayloads(t *testing.T) {
+	a := New(RetainPayloads())
+	var hs []Handle
+	var want [][]byte
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		p := make([]byte, 512)
+		rng.Read(p)
+		h, err := a.Alloc(len(p), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+		want = append(want, p)
+	}
+	// Free every other object to create holes, then compact.
+	for i := 0; i < len(hs); i += 2 {
+		a.Free(hs[i])
+	}
+	a.Compact()
+	for i := 1; i < len(hs); i += 2 {
+		got, err := a.Get(hs[i])
+		if err != nil {
+			t.Fatalf("handle %d: %v", hs[i], err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("payload %d corrupted by compaction", i)
+		}
+	}
+}
+
+func TestCompactNoopOnEmptyAndSingle(t *testing.T) {
+	a := New()
+	if got := a.Compact(); got != 0 {
+		t.Errorf("Compact on empty arena reclaimed %d", got)
+	}
+	a.Alloc(100, nil)
+	if got := a.Compact(); got != 0 {
+		t.Errorf("Compact with one zspage reclaimed %d", got)
+	}
+}
+
+func TestStatsInvariantQuick(t *testing.T) {
+	// Property: after arbitrary alloc/free/compact sequences,
+	// PayloadBytes <= SlotBytes <= PhysicalBytes and object count matches.
+	f := func(ops []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New()
+		var live []Handle
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1:
+				size := 1 + rng.Intn(MaxObjectSize)
+				h, err := a.Alloc(size, nil)
+				if err != nil {
+					return false
+				}
+				live = append(live, h)
+			case 2:
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					if err := a.Free(live[i]); err != nil {
+						return false
+					}
+					live = append(live[:i], live[i+1:]...)
+				} else {
+					a.Compact()
+				}
+			}
+		}
+		a.Compact()
+		st := a.Stats()
+		if st.Objects != len(live) {
+			return false
+		}
+		if st.PayloadBytes > st.SlotBytes || st.SlotBytes > st.PhysicalBytes {
+			return false
+		}
+		// Every live handle must still resolve.
+		for _, h := range live {
+			if _, err := a.Size(h); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerArenaFragmentationAblation(t *testing.T) {
+	// The §5.1 finding: many small per-job arenas fragment worse than one
+	// global arena for the same object population.
+	rng := rand.New(rand.NewSource(1))
+	const jobs = 50
+	const objsPerJob = 7 // few objects per job -> partial zspages everywhere
+
+	global := New()
+	perJob := make([]*Arena, jobs)
+	for j := range perJob {
+		perJob[j] = New()
+	}
+	for j := 0; j < jobs; j++ {
+		for i := 0; i < objsPerJob; i++ {
+			size := 800 + rng.Intn(400)
+			if _, err := global.Alloc(size, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := perJob[j].Alloc(size, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	global.Compact()
+	var perJobPhysical, perJobPayload uint64
+	for _, a := range perJob {
+		a.Compact()
+		st := a.Stats()
+		perJobPhysical += st.PhysicalBytes
+		perJobPayload += st.PayloadBytes
+	}
+	gs := global.Stats()
+	globalFrag := gs.Fragmentation()
+	perJobFrag := 1 - float64(perJobPayload)/float64(perJobPhysical)
+	if perJobFrag <= globalFrag {
+		t.Errorf("per-job fragmentation %.3f should exceed global %.3f", perJobFrag, globalFrag)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := New()
+	handles := make([]Handle, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(handles) == 1024 {
+			for _, h := range handles {
+				if err := a.Free(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+			handles = handles[:0]
+		}
+		h, err := a.Alloc(100+i%2800, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+}
+
+func BenchmarkCompact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := New()
+		var hs []Handle
+		for k := 0; k < 2048; k++ {
+			h, _ := a.Alloc(1024, nil)
+			hs = append(hs, h)
+		}
+		for k, h := range hs {
+			if k%3 != 0 {
+				a.Free(h)
+			}
+		}
+		b.StartTimer()
+		a.Compact()
+	}
+}

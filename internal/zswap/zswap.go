@@ -1,0 +1,316 @@
+// Package zswap implements the software-defined far memory tier: a
+// compressed in-DRAM pool for cold pages, in the style of Linux zswap as
+// customized by the paper (§5.1).
+//
+// Deviations from stock zswap that the paper describes are implemented
+// here: a single machine-global zsmalloc arena with an explicit compaction
+// interface, rejection (and sticky marking) of pages whose compressed
+// payload exceeds 2990 bytes, and proactive use driven by kreclaimd rather
+// than by direct reclaim.
+//
+// The package also defines FarMemory, the device-agnostic interface the
+// control plane is written against, so the same cold-page identification
+// machinery can drive NVM- or remote-memory-backed tiers (§5, §7).
+package zswap
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"sdfm/internal/compress"
+	"sdfm/internal/mem"
+	"sdfm/internal/pagedata"
+	"sdfm/internal/zsmalloc"
+)
+
+// DefaultCutoff is the largest accepted compressed payload. The paper
+// found no gains storing payloads larger than 2990 bytes (73% of a 4 KiB
+// page) once zsmalloc metadata overhead is counted.
+const DefaultCutoff = 2990
+
+// StoreOutcome reports what happened to a page offered to far memory.
+type StoreOutcome int
+
+const (
+	// StoreOK means the page was compressed and moved to far memory.
+	StoreOK StoreOutcome = iota
+	// StoreRejectedIncompressible means the compressed payload exceeded
+	// the cutoff; the page stays resident and is marked incompressible.
+	StoreRejectedIncompressible
+	// StoreRejectedFull means the pool hit its capacity limit.
+	StoreRejectedFull
+	// StoreZeroFilled means the page was all zeroes and was recorded
+	// without occupying arena space (the zswap same-filled-page
+	// optimization: the content is reconstructible from metadata alone).
+	StoreZeroFilled
+)
+
+// StoreResult describes a Store call.
+type StoreResult struct {
+	Outcome        StoreOutcome
+	CompressedSize int
+	Ratio          float64       // original/compressed for accepted pages
+	CPUTime        time.Duration // cycles charged to the job
+}
+
+// LoadResult describes a Load (promotion) call.
+type LoadResult struct {
+	CompressedSize int
+	CPUTime        time.Duration // decompression cycles charged to the job
+	Latency        time.Duration // end-to-end promotion latency
+}
+
+// Stats aggregates pool activity since creation.
+type Stats struct {
+	StoredPages    uint64
+	ZeroPages      uint64 // stored via the same-filled optimization
+	RejectedPages  uint64
+	FullRejects    uint64
+	LoadedPages    uint64
+	CompressCPU    time.Duration
+	DecompressCPU  time.Duration
+	StoredBytes    uint64 // uncompressed bytes moved to far memory (cumulative)
+	PayloadBytes   uint64 // compressed bytes written (cumulative)
+	ValidationErrs uint64
+}
+
+// FarMemory is the tier interface the control plane drives. Store moves a
+// cold page out of near memory; Load brings it back on a promotion fault.
+type FarMemory interface {
+	Store(m *mem.Memcg, id mem.PageID) StoreResult
+	Load(m *mem.Memcg, id mem.PageID) (LoadResult, error)
+	// FootprintBytes is the near-memory (DRAM) the tier itself consumes;
+	// nonzero only for compression-based tiers.
+	FootprintBytes() uint64
+	Stats() Stats
+}
+
+// Pool is the zswap far-memory tier.
+type Pool struct {
+	arena  *zsmalloc.Arena
+	cost   compress.CostModel
+	cutoff int
+	// capacityBytes bounds the arena's physical footprint; 0 = unbounded.
+	capacityBytes uint64
+	validate      bool
+	stats         Stats
+	zeroResident  uint64 // zero-filled pages currently held
+
+	pageBuf []byte
+	compBuf []byte
+}
+
+// zeroHandle marks a page stored via the same-filled optimization; it
+// occupies no arena space.
+const zeroHandle = zsmalloc.Handle(^uint64(0))
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithCost overrides the (de)compression cost model.
+func WithCost(c compress.CostModel) Option {
+	return func(p *Pool) { p.cost = c }
+}
+
+// WithCutoff overrides the compressed-payload acceptance cutoff.
+func WithCutoff(n int) Option {
+	return func(p *Pool) { p.cutoff = n }
+}
+
+// WithCapacity bounds the pool's physical DRAM footprint in bytes.
+func WithCapacity(n uint64) Option {
+	return func(p *Pool) { p.capacityBytes = n }
+}
+
+// WithValidation stores real compressed payloads and verifies every Load
+// round-trips to the page's exact content. Slower; used in tests and the
+// quickstart example.
+func WithValidation() Option {
+	return func(p *Pool) { p.validate = true }
+}
+
+// NewPool creates an empty zswap pool with the lzo cost calibration.
+func NewPool(opts ...Option) *Pool {
+	p := &Pool{
+		cost:    compress.DefaultLZOCost,
+		cutoff:  DefaultCutoff,
+		pageBuf: make([]byte, mem.PageSize),
+		compBuf: make([]byte, 0, compress.CompressBound(mem.PageSize)),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	var arenaOpts []zsmalloc.Option
+	if p.validate {
+		arenaOpts = append(arenaOpts, zsmalloc.RetainPayloads())
+	}
+	p.arena = zsmalloc.New(arenaOpts...)
+	return p
+}
+
+var _ FarMemory = (*Pool)(nil)
+
+// Store compresses page id of memcg m into the pool. The page must be
+// resident and reclaimable; violations panic because only kreclaimd calls
+// Store and it filters eligibility first.
+func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
+	page := m.Page(id)
+	if !page.Reclaimable() {
+		panic(fmt.Sprintf("zswap: storing non-reclaimable page %d of %s (flags %b)", id, m.Name(), page.Flags))
+	}
+	pagedata.Generate(p.pageBuf, page.Class, page.Seed)
+	if isZeroFilled(p.pageBuf) {
+		// Same-filled page: record it with no payload at negligible cost
+		// (the kernel memsets on fault instead of decompressing).
+		m.MarkCompressed(id, zeroHandle, 0)
+		p.zeroResident++
+		p.stats.ZeroPages++
+		p.stats.StoredPages++
+		p.stats.StoredBytes += mem.PageSize
+		return StoreResult{Outcome: StoreZeroFilled, Ratio: float64(mem.PageSize)}
+	}
+	p.compBuf = compress.Compress(p.compBuf[:0], p.pageBuf)
+	size := len(p.compBuf)
+	cpu := p.cost.CompressLatency(mem.PageSize)
+
+	if size > p.cutoff {
+		page.Set(mem.FlagIncompressible)
+		cpu = p.cost.RejectLatency(mem.PageSize)
+		p.stats.RejectedPages++
+		p.stats.CompressCPU += cpu
+		return StoreResult{Outcome: StoreRejectedIncompressible, CompressedSize: size, CPUTime: cpu}
+	}
+	if p.capacityBytes > 0 {
+		needed := uint64(zsmalloc.ClassSize(size))
+		if p.arena.Stats().PhysicalBytes+needed > p.capacityBytes {
+			p.stats.FullRejects++
+			p.stats.CompressCPU += cpu
+			return StoreResult{Outcome: StoreRejectedFull, CompressedSize: size, CPUTime: cpu}
+		}
+	}
+	var payload []byte
+	if p.validate {
+		payload = p.compBuf
+	}
+	h, err := p.arena.Alloc(size, payload)
+	if err != nil {
+		panic(fmt.Sprintf("zswap: arena alloc of %d bytes: %v", size, err))
+	}
+	m.MarkCompressed(id, h, size)
+	p.stats.StoredPages++
+	p.stats.StoredBytes += mem.PageSize
+	p.stats.PayloadBytes += uint64(size)
+	p.stats.CompressCPU += cpu
+	return StoreResult{
+		Outcome:        StoreOK,
+		CompressedSize: size,
+		Ratio:          compress.Ratio(mem.PageSize, size),
+		CPUTime:        cpu,
+	}
+}
+
+// Load resolves a promotion fault: it decompresses page id back into near
+// memory, frees the pool space, and returns the CPU/latency cost.
+func (p *Pool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
+	page := m.Page(id)
+	if !page.Has(mem.FlagCompressed) {
+		return LoadResult{}, fmt.Errorf("zswap: load of non-compressed page %d of %s", id, m.Name())
+	}
+	if page.Handle == zeroHandle {
+		if p.validate {
+			pagedata.Generate(p.pageBuf, page.Class, page.Seed)
+			if !isZeroFilled(p.pageBuf) {
+				p.stats.ValidationErrs++
+				return LoadResult{}, fmt.Errorf("zswap: page %d stored as zero-filled but content is not zero", id)
+			}
+		}
+		m.MarkPromoted(id)
+		p.zeroResident--
+		p.stats.LoadedPages++
+		// A memset-speed restore: charge only the fixed fault overhead.
+		cpu := p.cost.DecompressBase
+		p.stats.DecompressCPU += cpu
+		return LoadResult{CPUTime: cpu, Latency: cpu}, nil
+	}
+	size := int(page.CompressedSize)
+	if p.validate {
+		stored, err := p.arena.Get(page.Handle)
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("zswap: %v", err)
+		}
+		got, err := compress.Decompress(nil, stored, mem.PageSize)
+		if err != nil {
+			p.stats.ValidationErrs++
+			return LoadResult{}, fmt.Errorf("zswap: corrupt payload for page %d: %v", id, err)
+		}
+		pagedata.Generate(p.pageBuf, page.Class, page.Seed)
+		if !bytes.Equal(got, p.pageBuf) {
+			p.stats.ValidationErrs++
+			return LoadResult{}, fmt.Errorf("zswap: page %d content mismatch after decompression", id)
+		}
+	}
+	if err := p.arena.Free(page.Handle); err != nil {
+		return LoadResult{}, fmt.Errorf("zswap: %v", err)
+	}
+	m.MarkPromoted(id)
+	cpu := p.cost.DecompressLatency(size, mem.PageSize)
+	p.stats.LoadedPages++
+	p.stats.DecompressCPU += cpu
+	return LoadResult{CompressedSize: size, CPUTime: cpu, Latency: cpu}, nil
+}
+
+// Drop discards a compressed page without promoting it (used when a job
+// exits while holding far memory).
+func (p *Pool) Drop(m *mem.Memcg, id mem.PageID) error {
+	page := m.Page(id)
+	if !page.Has(mem.FlagCompressed) {
+		return fmt.Errorf("zswap: drop of non-compressed page %d", id)
+	}
+	if page.Handle == zeroHandle {
+		p.zeroResident--
+		m.MarkPromoted(id)
+		page.Clear(mem.FlagAccessed)
+		return nil
+	}
+	if err := p.arena.Free(page.Handle); err != nil {
+		return err
+	}
+	m.MarkPromoted(id)
+	page.Clear(mem.FlagAccessed)
+	return nil
+}
+
+// Compact runs zsmalloc compaction and returns reclaimed physical bytes.
+// The node agent triggers this explicitly (§5.1).
+func (p *Pool) Compact() uint64 { return p.arena.Compact() }
+
+// FootprintBytes is the DRAM the compressed pool occupies right now.
+func (p *Pool) FootprintBytes() uint64 { return p.arena.Stats().PhysicalBytes }
+
+// SavedBytes is the DRAM freed by the pool right now: the uncompressed
+// size of everything stored minus the pool's own footprint.
+func (p *Pool) SavedBytes() uint64 {
+	st := p.arena.Stats()
+	uncompressed := uint64(st.Objects)*mem.PageSize + p.zeroResident*mem.PageSize
+	if st.PhysicalBytes >= uncompressed {
+		return 0
+	}
+	return uncompressed - st.PhysicalBytes
+}
+
+// isZeroFilled reports whether the page is entirely zero bytes.
+func isZeroFilled(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns cumulative pool statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ArenaStats exposes the underlying allocator accounting.
+func (p *Pool) ArenaStats() zsmalloc.Stats { return p.arena.Stats() }

@@ -1,0 +1,460 @@
+package zswap
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdfm/internal/compress"
+	"sdfm/internal/mem"
+	"sdfm/internal/pagedata"
+)
+
+func newMemcg(pages int, mix pagedata.Mix) *mem.Memcg {
+	return mem.NewMemcg(mem.Config{Name: "job", Pages: pages, Mix: mix, SeedBase: 7})
+}
+
+func TestStoreLoadRoundTripValidated(t *testing.T) {
+	p := NewPool(WithValidation())
+	m := newMemcg(50, pagedata.NewMix(0, 1, 1, 1, 0)) // all compressible
+	stored := 0
+	for i := 0; i < 50; i++ {
+		res := p.Store(m, mem.PageID(i))
+		if res.Outcome != StoreOK {
+			t.Fatalf("page %d: outcome %v", i, res.Outcome)
+		}
+		if res.Ratio <= 1 {
+			t.Errorf("page %d: ratio %.2f", i, res.Ratio)
+		}
+		if res.CPUTime <= 0 {
+			t.Error("store charged no CPU")
+		}
+		stored++
+	}
+	if m.Compressed() != stored {
+		t.Fatalf("compressed = %d, want %d", m.Compressed(), stored)
+	}
+	for i := 0; i < 50; i++ {
+		res, err := p.Load(m, mem.PageID(i))
+		if err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		if res.CPUTime <= 0 || res.Latency <= 0 {
+			t.Error("load charged no cost")
+		}
+	}
+	if m.Compressed() != 0 || m.Resident() != 50 {
+		t.Fatalf("after loads: resident=%d compressed=%d", m.Resident(), m.Compressed())
+	}
+	st := p.Stats()
+	if st.StoredPages != 50 || st.LoadedPages != 50 || st.ValidationErrs != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestStoreRejectsIncompressible(t *testing.T) {
+	p := NewPool()
+	m := newMemcg(10, pagedata.NewMix(0, 0, 0, 0, 1)) // all random
+	res := p.Store(m, 0)
+	if res.Outcome != StoreRejectedIncompressible {
+		t.Fatalf("outcome = %v, want incompressible reject", res.Outcome)
+	}
+	page := m.Page(0)
+	if !page.Has(mem.FlagIncompressible) {
+		t.Error("rejected page not marked incompressible")
+	}
+	if page.Has(mem.FlagCompressed) {
+		t.Error("rejected page marked compressed")
+	}
+	if m.Resident() != 10 {
+		t.Error("rejected page left resident accounting")
+	}
+	// The incompressible mark makes the page ineligible for another try.
+	if page.Reclaimable() {
+		t.Error("incompressible page still reclaimable")
+	}
+	// A write clears the mark and re-enables compression attempts.
+	m.Touch(0, true)
+	if !m.Page(0).Reclaimable() {
+		t.Error("dirtied page should be reclaimable again")
+	}
+}
+
+func TestRejectCostsMoreThanStore(t *testing.T) {
+	p := NewPool()
+	mGood := newMemcg(1, pagedata.NewMix(0, 1, 0, 0, 0))
+	mBad := newMemcg(1, pagedata.NewMix(0, 0, 0, 0, 1))
+	ok := p.Store(mGood, 0)
+	rej := p.Store(mBad, 0)
+	if rej.CPUTime <= ok.CPUTime {
+		t.Errorf("reject CPU %v should exceed accept CPU %v", rej.CPUTime, ok.CPUTime)
+	}
+}
+
+func TestStoreNonReclaimablePanics(t *testing.T) {
+	p := NewPool()
+	m := newMemcg(1, pagedata.DefaultMix)
+	m.Page(0).Set(mem.FlagMlocked)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("storing mlocked page did not panic")
+		}
+	}()
+	p.Store(m, 0)
+}
+
+func TestLoadNonCompressedErrors(t *testing.T) {
+	p := NewPool()
+	m := newMemcg(1, pagedata.DefaultMix)
+	if _, err := p.Load(m, 0); err == nil {
+		t.Fatal("load of resident page succeeded")
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	// Capacity of one zspage: the pool must reject once full.
+	p := NewPool(WithCapacity(16384))
+	m := newMemcg(200, pagedata.NewMix(0, 1, 0, 0, 0))
+	full := 0
+	for i := 0; i < 200; i++ {
+		res := p.Store(m, mem.PageID(i))
+		if res.Outcome == StoreRejectedFull {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatal("capacity-limited pool never rejected")
+	}
+	if p.FootprintBytes() > 16384 {
+		t.Errorf("footprint %d exceeds capacity", p.FootprintBytes())
+	}
+	if p.Stats().FullRejects != uint64(full) {
+		t.Errorf("FullRejects = %d, want %d", p.Stats().FullRejects, full)
+	}
+}
+
+func TestSavedBytes(t *testing.T) {
+	p := NewPool()
+	m := newMemcg(100, pagedata.NewMix(0, 0, 1, 0, 0)) // highly compressible
+	for i := 0; i < 100; i++ {
+		p.Store(m, mem.PageID(i))
+	}
+	saved := p.SavedBytes()
+	if saved == 0 {
+		t.Fatal("no savings from 100 structured pages")
+	}
+	// Savings cannot exceed the uncompressed size stored.
+	if saved >= 100*mem.PageSize {
+		t.Errorf("saved %d >= stored %d", saved, 100*mem.PageSize)
+	}
+	if p.FootprintBytes() == 0 {
+		t.Error("compressed pool claims zero footprint")
+	}
+}
+
+func TestDropDiscardsWithoutCost(t *testing.T) {
+	p := NewPool()
+	m := newMemcg(2, pagedata.NewMix(0, 1, 0, 0, 0))
+	p.Store(m, 0)
+	if err := p.Drop(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Compressed() != 0 {
+		t.Error("drop did not restore accounting")
+	}
+	if p.Stats().LoadedPages != 0 {
+		t.Error("drop counted as a load")
+	}
+	if err := p.Drop(m, 1); err == nil {
+		t.Error("drop of resident page succeeded")
+	}
+}
+
+func TestCompactAfterChurn(t *testing.T) {
+	p := NewPool()
+	m := newMemcg(500, pagedata.NewMix(0, 1, 1, 1, 0))
+	for i := 0; i < 500; i++ {
+		p.Store(m, mem.PageID(i))
+	}
+	// Promote most pages to create holes.
+	for i := 0; i < 500; i++ {
+		if i%5 != 0 {
+			if m.Page(mem.PageID(i)).Has(mem.FlagCompressed) {
+				if _, err := p.Load(m, mem.PageID(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	before := p.FootprintBytes()
+	reclaimed := p.Compact()
+	after := p.FootprintBytes()
+	if reclaimed == 0 {
+		t.Error("compaction reclaimed nothing after heavy churn")
+	}
+	if after != before-reclaimed {
+		t.Errorf("footprint %d != %d - %d", after, before, reclaimed)
+	}
+}
+
+func TestCompressionRatioDistribution(t *testing.T) {
+	// With the default fleet mix, accepted pages should land in the
+	// paper's 2-6x band on average, and a meaningful fraction of pages
+	// should be incompressible.
+	p := NewPool()
+	m := newMemcg(2000, pagedata.DefaultMix)
+	accepted, rejects := 0, 0
+	var compressedBytes uint64
+	for i := 0; i < 2000; i++ {
+		res := p.Store(m, mem.PageID(i))
+		switch res.Outcome {
+		case StoreOK:
+			accepted++
+			compressedBytes += uint64(res.CompressedSize)
+		case StoreRejectedIncompressible:
+			rejects++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no pages accepted")
+	}
+	// Byte-weighted ratio over accepted pages, the savings-relevant
+	// definition: the paper reports ~3x median, 2-6x across jobs.
+	ratio := float64(accepted) * mem.PageSize / float64(compressedBytes)
+	if ratio < 2 || ratio > 6.5 {
+		t.Errorf("byte-weighted accepted ratio = %.2f, want in [2, 6.5]", ratio)
+	}
+	frac := float64(rejects) / 2000
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("incompressible fraction = %.2f, want ~0.3", frac)
+	}
+}
+
+func TestDevicePoolStoreLoad(t *testing.T) {
+	d := NewDevicePool(ProfileNVM)
+	m := newMemcg(10, pagedata.DefaultMix)
+	res := d.Store(m, 0)
+	if res.Outcome != StoreOK {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if res.CPUTime != 0 {
+		t.Error("device store charged CPU")
+	}
+	if d.UsedBytes() != mem.PageSize {
+		t.Errorf("used = %d", d.UsedBytes())
+	}
+	lr, err := d.Load(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Latency != ProfileNVM.ReadLatency {
+		t.Errorf("latency = %v, want %v", lr.Latency, ProfileNVM.ReadLatency)
+	}
+	if d.UsedBytes() != 0 {
+		t.Errorf("used after load = %d", d.UsedBytes())
+	}
+	if _, err := d.Load(m, 1); err == nil {
+		t.Error("load of non-stored page succeeded")
+	}
+}
+
+func TestDevicePoolCapacityAndStranding(t *testing.T) {
+	profile := ProfileNVM
+	profile.CapacityBytes = 3 * mem.PageSize
+	d := NewDevicePool(profile)
+	m := newMemcg(10, pagedata.DefaultMix)
+	okCount := 0
+	for i := 0; i < 5; i++ {
+		if d.Store(m, mem.PageID(i)).Outcome == StoreOK {
+			okCount++
+		}
+	}
+	if okCount != 3 {
+		t.Errorf("stored %d pages into 3-page device", okCount)
+	}
+	if d.StrandedBytes() != 0 {
+		t.Errorf("full device strands %d bytes", d.StrandedBytes())
+	}
+	d.Load(m, 0)
+	if d.StrandedBytes() != mem.PageSize {
+		t.Errorf("stranded = %d, want one page", d.StrandedBytes())
+	}
+	if d.FootprintBytes() != 0 {
+		t.Error("device tier must not consume near memory")
+	}
+}
+
+func TestDevicePoolUnboundedHasNoStranding(t *testing.T) {
+	d := NewDevicePool(ProfileRemoteMemory)
+	if d.StrandedBytes() != 0 {
+		t.Error("unbounded device reports stranding")
+	}
+}
+
+func TestZeroFilledPages(t *testing.T) {
+	p := NewPool(WithValidation())
+	m := newMemcg(20, pagedata.NewMix(1, 0, 0, 0, 0)) // all zero pages
+	for i := 0; i < 20; i++ {
+		res := p.Store(m, mem.PageID(i))
+		if res.Outcome != StoreZeroFilled {
+			t.Fatalf("page %d: outcome %v, want zero-filled", i, res.Outcome)
+		}
+		if res.CPUTime != 0 {
+			t.Error("zero-filled store charged compression CPU")
+		}
+	}
+	st := p.Stats()
+	if st.ZeroPages != 20 || st.StoredPages != 20 {
+		t.Errorf("stats %+v", st)
+	}
+	// Zero pages occupy no arena space, so the whole footprint is saved.
+	if p.FootprintBytes() != 0 {
+		t.Errorf("footprint = %d, want 0", p.FootprintBytes())
+	}
+	if p.SavedBytes() != 20*mem.PageSize {
+		t.Errorf("saved = %d, want %d", p.SavedBytes(), 20*mem.PageSize)
+	}
+	// Loads restore and validate.
+	for i := 0; i < 20; i++ {
+		lr, err := p.Load(m, mem.PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr.CPUTime <= 0 {
+			t.Error("zero-filled load charged no fault overhead")
+		}
+	}
+	if m.Compressed() != 0 {
+		t.Error("accounting broken after zero-page loads")
+	}
+	if p.Stats().ValidationErrs != 0 {
+		t.Error("validation errors on zero pages")
+	}
+}
+
+func TestZeroFilledDrop(t *testing.T) {
+	p := NewPool()
+	m := newMemcg(2, pagedata.NewMix(1, 0, 0, 0, 0))
+	p.Store(m, 0)
+	if err := p.Drop(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Compressed() != 0 {
+		t.Error("drop of zero page broke accounting")
+	}
+	if p.SavedBytes() != 0 {
+		t.Errorf("saved = %d after drop", p.SavedBytes())
+	}
+}
+
+func TestZeroPageDirtiedRecompresses(t *testing.T) {
+	// A zero page that is written becomes non-zero content and must take
+	// the regular compression path next time.
+	p := NewPool()
+	m := newMemcg(1, pagedata.NewMix(1, 0, 0, 0, 0))
+	if res := p.Store(m, 0); res.Outcome != StoreZeroFilled {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if _, err := p.Load(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Write: the seed changes, but the class is still zero, so content
+	// stays zero; flip the class to simulate real data landing there.
+	m.Page(0).Class = pagedata.ClassText
+	m.Touch(0, true)
+	m.Page(0).Clear(mem.FlagAccessed)
+	res := p.Store(m, 0)
+	if res.Outcome != StoreOK {
+		t.Fatalf("rewritten page outcome %v, want StoreOK", res.Outcome)
+	}
+	if res.CompressedSize == 0 {
+		t.Error("rewritten page has no payload")
+	}
+}
+
+func TestPoolInvariantsQuick(t *testing.T) {
+	// Property: under arbitrary store/load/drop/compact sequences, the
+	// pool and memcg accounting stay consistent: resident + compressed ==
+	// total, footprint matches the arena, and SavedBytes never exceeds
+	// what was stored.
+	f := func(ops []uint16, seed int64) bool {
+		p := NewPool(WithValidation())
+		m := mem.NewMemcg(mem.Config{
+			Name: "q", Pages: 64, Mix: pagedata.DefaultMix, SeedBase: uint64(seed),
+		})
+		for _, op := range ops {
+			id := mem.PageID(op % 64)
+			page := m.Page(id)
+			switch op % 4 {
+			case 0:
+				if page.Reclaimable() {
+					p.Store(m, id)
+				}
+			case 1:
+				if page.Has(mem.FlagCompressed) {
+					if _, err := p.Load(m, id); err != nil {
+						return false
+					}
+				}
+			case 2:
+				if page.Has(mem.FlagCompressed) {
+					if err := p.Drop(m, id); err != nil {
+						return false
+					}
+				}
+			case 3:
+				p.Compact()
+			}
+			if m.Resident()+m.Compressed() != m.NumPages() {
+				return false
+			}
+			if p.Stats().ValidationErrs != 0 {
+				return false
+			}
+			compressedBytes := uint64(m.Compressed()) * mem.PageSize
+			if p.SavedBytes() > compressedBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolOptions(t *testing.T) {
+	// WithCost and WithCutoff change behavior as configured.
+	slow := compress.CostModel{
+		CompressBase: time.Millisecond, CompressPerKiB: 0,
+		DecompressBase: time.Millisecond, DecompressPerKiBIn: 0,
+	}
+	p := NewPool(WithCost(slow), WithCutoff(100)) // absurdly low cutoff
+	m := newMemcg(5, pagedata.NewMix(0, 1, 0, 0, 0))
+	res := p.Store(m, 0)
+	if res.Outcome != StoreRejectedIncompressible {
+		t.Fatalf("outcome %v; text never compresses under 100 bytes", res.Outcome)
+	}
+	if res.CPUTime < time.Millisecond {
+		t.Errorf("custom cost model not applied: %v", res.CPUTime)
+	}
+}
+
+func TestLoadValidatedCorruptPayload(t *testing.T) {
+	// With validation on, a payload that does not decode to the page's
+	// content must error rather than silently promote.
+	p := NewPool(WithValidation())
+	m := newMemcg(2, pagedata.NewMix(0, 1, 0, 0, 0))
+	if res := p.Store(m, 0); res.Outcome != StoreOK {
+		t.Fatalf("store: %v", res.Outcome)
+	}
+	// Corrupt the page's seed after storing: decompressed bytes will no
+	// longer match the regenerated content.
+	m.Page(0).Seed ^= 0xDEAD
+	if _, err := p.Load(m, 0); err == nil {
+		t.Fatal("content mismatch not detected")
+	}
+	if p.Stats().ValidationErrs == 0 {
+		t.Error("validation error not counted")
+	}
+}

@@ -1,0 +1,243 @@
+// Package sdfm is a software-defined far memory system for
+// warehouse-scale computing, reproducing "Software-Defined Far Memory in
+// Warehouse-Scale Computers" (Lagar-Cavilla et al., ASPLOS 2019).
+//
+// The system proactively compresses cold memory pages into an in-DRAM
+// zswap pool, creating a far-memory tier with no extra hardware. Its
+// control plane identifies cold pages per job under a promotion-rate SLO
+// (§4), a node agent picks each job's cold-age threshold (§5.2), a
+// telemetry pipeline feeds an offline "fast far memory model" (§5.3), and
+// a GP-Bandit autotuner optimizes the control-plane parameters fleet-wide
+// without a human in the loop.
+//
+// This package is the public facade. The building blocks live in
+// internal/ packages and are re-exported here by alias:
+//
+//   - Machine simulates one production machine: per-job memcgs with
+//     accessed-bit tracking, the kstaled scanner, kreclaimd, a zswap pool
+//     backed by a real LZ77 compressor and a zsmalloc arena, and the node
+//     agent control loop.
+//   - Cluster schedules workloads over machines Borg-style, with
+//     priorities, eviction, and A/B machine groups.
+//   - GenerateFleetTrace synthesizes warehouse-scale telemetry traces;
+//     Replay runs the fast far memory model over them; Autotune searches
+//     (K, S) with GP-UCB against the model.
+//
+// See the examples/ directory for runnable end-to-end scenarios and
+// DESIGN.md for the paper-to-package map.
+package sdfm
+
+import (
+	"io"
+	"time"
+
+	"sdfm/internal/cluster"
+	"sdfm/internal/core"
+	"sdfm/internal/fleet"
+	"sdfm/internal/model"
+	"sdfm/internal/node"
+	"sdfm/internal/tco"
+	"sdfm/internal/telemetry"
+	"sdfm/internal/tuner"
+	"sdfm/internal/workload"
+	"sdfm/internal/zswap"
+)
+
+// Control plane (§4): the paper's primary contribution.
+type (
+	// SLO is the far-memory performance objective: promotions per minute
+	// bounded by a fraction of the working set.
+	SLO = core.SLO
+	// Params are the control-plane tunables: the K-th percentile of the
+	// best-threshold pool and the S-second startup blackout.
+	Params = core.Params
+	// Controller runs the per-job cold-age threshold algorithm.
+	Controller = core.Controller
+	// ControllerConfig configures a Controller.
+	ControllerConfig = core.ControllerConfig
+)
+
+// DefaultSLO is the production setting (0.2% of WSS per minute, 120 s
+// minimum threshold).
+var DefaultSLO = core.DefaultSLO
+
+// DefaultParams is the paper's hand-tuned initial configuration.
+var DefaultParams = core.DefaultParams
+
+// NewController creates a per-job threshold controller.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	return core.NewController(cfg)
+}
+
+// Machine simulation (§5.1-5.2).
+type (
+	// Machine is one simulated production machine.
+	Machine = node.Machine
+	// MachineConfig configures a Machine.
+	MachineConfig = node.Config
+	// Job is a job instance on a machine.
+	Job = node.Job
+	// Mode selects proactive (the paper's system), reactive (stock
+	// zswap), or disabled far memory.
+	Mode = node.Mode
+	// Workload generates a job's memory accesses.
+	Workload = workload.Workload
+	// WorkloadConfig instantiates a Workload.
+	WorkloadConfig = workload.Config
+	// Archetype describes a class of production workload.
+	Archetype = workload.Archetype
+)
+
+// Far-memory modes.
+const (
+	ModeProactive = node.ModeProactive
+	ModeReactive  = node.ModeReactive
+	ModeDisabled  = node.ModeDisabled
+)
+
+// Standard workload archetypes.
+var (
+	WebFrontend    = workload.WebFrontend
+	BigtableServer = workload.BigtableServer
+	BatchAnalytics = workload.BatchAnalytics
+	MLTraining     = workload.MLTraining
+	KVCache        = workload.KVCache
+	LogProcessor   = workload.LogProcessor
+	Archetypes     = workload.Archetypes
+)
+
+// NewMachine builds a machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return node.NewMachine(cfg) }
+
+// NewWorkload instantiates a workload.
+func NewWorkload(cfg WorkloadConfig) (*Workload, error) { return workload.New(cfg) }
+
+// Far-memory tiers (§3, §7).
+type (
+	// FarMemory is the device-agnostic tier interface the control plane
+	// drives.
+	FarMemory = zswap.FarMemory
+	// Pool is the zswap compressed in-DRAM tier.
+	Pool = zswap.Pool
+	// DevicePool models hardware tiers (NVM, remote memory, Z-SSD).
+	DevicePool = zswap.DevicePool
+	// TieredPool combines a fast hardware tier-1 with a zswap tier-2
+	// under one control plane (the paper's §8 end state).
+	TieredPool = zswap.TieredPool
+	// DeviceProfile describes a hardware far-memory device.
+	DeviceProfile = zswap.DeviceProfile
+)
+
+// Hardware tier profiles from the paper's related-work discussion.
+var (
+	ProfileNVM          = zswap.ProfileNVM
+	ProfileRemoteMemory = zswap.ProfileRemoteMemory
+	ProfileZSSD         = zswap.ProfileZSSD
+)
+
+// NewPool creates a zswap pool. Options: zswap.WithValidation,
+// zswap.WithCapacity, zswap.WithCutoff, zswap.WithCost.
+func NewPool(opts ...zswap.Option) *Pool { return zswap.NewPool(opts...) }
+
+// NewDevicePool creates a hardware-device far-memory tier.
+func NewDevicePool(p DeviceProfile) *DevicePool { return zswap.NewDevicePool(p) }
+
+// NewTieredPool combines a capacity-bounded hardware tier-1 with a zswap
+// tier-2; pages demoted at an age below splitAge scan periods prefer the
+// fast tier.
+func NewTieredPool(tier1 DeviceProfile, tier2 *Pool, splitAge uint8) *TieredPool {
+	return zswap.NewTieredPool(tier1, tier2, splitAge)
+}
+
+// Cluster scheduling.
+type (
+	// Cluster is a Borg-like cluster of machines.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures a Cluster.
+	ClusterConfig = cluster.Config
+)
+
+// NewCluster builds a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Telemetry and the fast far memory model (§5.3).
+type (
+	// Trace is a fleet telemetry trace.
+	Trace = telemetry.Trace
+	// TraceEntry is one job-interval record.
+	TraceEntry = telemetry.Entry
+	// JobKey identifies a job in the fleet.
+	JobKey = telemetry.JobKey
+	// FleetConfig sizes a synthetic fleet.
+	FleetConfig = fleet.Config
+	// ModelConfig configures a fast-model replay.
+	ModelConfig = model.Config
+	// FleetResult is the model's fleet-level output.
+	FleetResult = model.FleetResult
+	// RolloutPhase is one stage of a staged parameter rollout.
+	RolloutPhase = model.Phase
+	// TimelinePoint is one interval of a coverage timeline.
+	TimelinePoint = model.TimelinePoint
+)
+
+// GenerateFleetTrace synthesizes warehouse-scale telemetry.
+func GenerateFleetTrace(cfg FleetConfig) (*Trace, error) { return fleet.Generate(cfg) }
+
+// LoadTrace reads a trace written with Trace.Save.
+func LoadTrace(r io.Reader) (*Trace, error) { return telemetry.LoadTrace(r) }
+
+// Replay runs the fast far memory model over a trace.
+func Replay(trace *Trace, cfg ModelConfig) (FleetResult, error) { return model.Run(trace, cfg) }
+
+// ReplayTimeline replays a trace under a staged parameter rollout.
+func ReplayTimeline(trace *Trace, phases []RolloutPhase, cfg ModelConfig) ([]TimelinePoint, error) {
+	return model.RunTimeline(trace, phases, cfg)
+}
+
+// Autotuning (§5.3).
+type (
+	// TunerConfig configures the GP-Bandit loop.
+	TunerConfig = tuner.Config
+	// TunerResult is an autotuning outcome.
+	TunerResult = tuner.Result
+	// Objective evaluates a parameter configuration.
+	Objective = tuner.Objective
+	// DeploymentDecision is a staged-rollout qualification outcome.
+	DeploymentDecision = tuner.DeploymentDecision
+)
+
+// DefaultHeuristicCandidates are the conservative hand-tuning guesses the
+// heuristic baseline evaluates.
+var DefaultHeuristicCandidates = tuner.DefaultHeuristicCandidates
+
+// Autotune searches the (K, S) space with GP-UCB against obj.
+func Autotune(obj Objective, cfg TunerConfig) (TunerResult, error) { return tuner.Autotune(obj, cfg) }
+
+// HeuristicTune evaluates a fixed candidate list (the pre-ML baseline).
+func HeuristicTune(obj Objective, candidates []Params, slo SLO) (TunerResult, error) {
+	return tuner.HeuristicTune(obj, candidates, slo)
+}
+
+// QualifyAndDeploy gates a candidate configuration behind a holdout run,
+// rolling back on SLO violation.
+func QualifyAndDeploy(candidate, incumbent Params, holdout Objective, slo SLO) (DeploymentDecision, error) {
+	return tuner.QualifyAndDeploy(candidate, incumbent, holdout, slo)
+}
+
+// TraceObjective builds a tuner objective that replays the given trace.
+func TraceObjective(trace *Trace, slo SLO) Objective {
+	return func(p Params) (FleetResult, error) {
+		return model.Run(trace, model.Config{Params: p, SLO: slo})
+	}
+}
+
+// TCO arithmetic (§6.1).
+
+// TCOSavingsFraction converts a cold-memory ceiling, coverage, and
+// compression ratio into the fraction of DRAM cost saved.
+func TCOSavingsFraction(coldFraction, coverage, compressionRatio float64) float64 {
+	return tco.SavingsFraction(coldFraction, coverage, compressionRatio)
+}
+
+// ScanPeriod is the kstaled scan period and minimum cold-age threshold.
+const ScanPeriod = 120 * time.Second
