@@ -11,10 +11,12 @@ import (
 	"time"
 
 	"sdfm/internal/core"
+	"sdfm/internal/fault"
 	"sdfm/internal/mem"
 	"sdfm/internal/node"
 	"sdfm/internal/simtime"
 	"sdfm/internal/stats"
+	"sdfm/internal/telemetry"
 	"sdfm/internal/workload"
 )
 
@@ -34,6 +36,18 @@ type Config struct {
 	// CollectSamples enables per-interval sample retention on machines.
 	CollectSamples bool
 	Seed           int64
+	// Collector, when set, receives every machine's 5-minute telemetry
+	// exports. The collector is not safe for concurrent use: drive the
+	// cluster with Run or Step, not RunParallel, when collecting.
+	Collector *telemetry.Collector
+	// Faults, when set and non-empty, injects the plan's faults: each
+	// machine gets its own deterministic injector keyed by machine name.
+	// A nil or empty plan leaves every machine byte-identical to a
+	// cluster built without one.
+	Faults *fault.Plan
+	// Breaker configures the per-job promotion-SLO circuit breaker on
+	// every machine; disabled by default.
+	Breaker node.BreakerConfig
 }
 
 // Cluster is a set of machines under one scheduler.
@@ -57,8 +71,9 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.ModeFn != nil {
 			mode = cfg.ModeFn(i)
 		}
+		name := fmt.Sprintf("m%04d", i)
 		m, err := node.NewMachine(node.Config{
-			Name:           fmt.Sprintf("m%04d", i),
+			Name:           name,
 			Cluster:        cfg.Name,
 			DRAMBytes:      cfg.DRAMPerMachine,
 			Mode:           mode,
@@ -66,6 +81,9 @@ func New(cfg Config) (*Cluster, error) {
 			SLO:            cfg.SLO,
 			CollectSamples: cfg.CollectSamples,
 			Seed:           cfg.Seed + int64(i),
+			Collector:      cfg.Collector,
+			Injector:       fault.NewInjector(cfg.Faults, name),
+			Breaker:        cfg.Breaker,
 		})
 		if err != nil {
 			return nil, err
@@ -244,6 +262,25 @@ func (c *Cluster) ColdFractionSummary() stats.Summary {
 		vals = append(vals, m.ColdFraction())
 	}
 	return stats.Summarize(vals)
+}
+
+// FaultStats sums fault and degradation counters across machines.
+func (c *Cluster) FaultStats() node.FaultStats {
+	var total node.FaultStats
+	for _, m := range c.machines {
+		fs := m.FaultStats()
+		total.Crashes += fs.Crashes
+		total.StalledSteps += fs.StalledSteps
+		total.WatchdogRestarts += fs.WatchdogRestarts
+		total.DroppedExports += fs.DroppedExports
+		total.ChurnKills += fs.ChurnKills
+		total.BreakerTrips += fs.BreakerTrips
+		total.BackoffEvents += fs.BackoffEvents
+		total.InjectedErrors += fs.InjectedErrors
+		total.SlowedStores += fs.SlowedStores
+		total.SlowedLoads += fs.SlowedLoads
+	}
+	return total
 }
 
 // Group returns the machines currently in the given mode (A/B analysis).

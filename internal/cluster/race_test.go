@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled lets the serial byte-determinism sims skip under the race
+// detector's ~15x slowdown; they assert reproducibility, not concurrency,
+// and RunParallel coverage stays race-checked elsewhere in this package.
+const raceEnabled = true

@@ -164,6 +164,9 @@ func TestFig7SLOCompliance(t *testing.T) {
 }
 
 func TestFig8Overheads(t *testing.T) {
+	if raceEnabled {
+		t.Skip("page-accurate sim is too slow under the race detector; covered by node/cluster race tests")
+	}
 	t.Parallel()
 	r, err := Fig8CPUOverhead(ScaleSmall, seed)
 	if err != nil {
@@ -189,6 +192,9 @@ func TestFig8Overheads(t *testing.T) {
 }
 
 func TestFig9Compression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("page-accurate sim is too slow under the race detector; covered by node/cluster race tests")
+	}
 	t.Parallel()
 	r, err := Fig9CompressionCharacteristics(ScaleSmall, seed)
 	if err != nil {
@@ -220,6 +226,9 @@ func TestFig9Compression(t *testing.T) {
 }
 
 func TestFig10AB(t *testing.T) {
+	if raceEnabled {
+		t.Skip("page-accurate sim is too slow under the race detector; covered by node/cluster race tests")
+	}
 	t.Parallel()
 	r, err := Fig10BigtableAB(ScaleSmall, seed)
 	if err != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets the heaviest page-accurate experiment tests skip under
+// the race detector's ~15x slowdown; their machine/zswap code paths are
+// race-exercised by the node and cluster suites.
+const raceEnabled = true

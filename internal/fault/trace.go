@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"time"
+
+	"sdfm/internal/telemetry"
+)
+
+// TraceDamage reports what ApplyToTrace did.
+type TraceDamage struct {
+	Dropped   int // entries removed by TelemetryDrop windows
+	Corrupted int // entries bit-flipped by TelemetryCorrupt windows
+}
+
+// ApplyToTrace applies the plan's telemetry faults to an at-rest trace:
+// entries inside TelemetryDrop windows are removed (the agent never got
+// them out) and entries inside TelemetryCorrupt windows have their tails
+// perturbed without updating the checksum, exactly the damage Scrub and
+// LoadTrace are built to catch. The mutation is deterministic — a
+// per-entry perturbation derived from the entry's own digest — so the
+// same plan applied to the same trace always yields the same bytes.
+//
+// Node-agent simulations already drop live exports themselves (the
+// injector suppresses Collector.Record), so for machine-accurate traces
+// only corruption applies here; drop windows matter for statistically
+// generated fleet traces, which have no live agent.
+func ApplyToTrace(p *Plan, trace *telemetry.Trace) TraceDamage {
+	var dmg TraceDamage
+	if p.Empty() || trace == nil {
+		return dmg
+	}
+	kept := trace.Entries[:0]
+	for i := range trace.Entries {
+		e := trace.Entries[i]
+		ts := time.Duration(e.TimestampSec) * time.Second
+		if matches(p, TelemetryDrop, e.Key.Machine, ts) {
+			dmg.Dropped++
+			continue
+		}
+		if matches(p, TelemetryCorrupt, e.Key.Machine, ts) && len(e.ColdTails) > 0 {
+			// Flip bits derived from the entry's own content so the
+			// damage is reproducible and always checksum-detectable.
+			e.ColdTails = append([]uint64(nil), e.ColdTails...)
+			e.ColdTails[0] ^= e.ComputeChecksum() | 1
+			dmg.Corrupted++
+		}
+		kept = append(kept, e)
+	}
+	trace.Entries = kept
+	return dmg
+}
+
+// matches reports whether any event of the kind covers (machine, ts).
+func matches(p *Plan, kind Kind, machine string, ts time.Duration) bool {
+	for _, e := range p.Events {
+		if e.Kind != kind {
+			continue
+		}
+		if e.Machine != "" && e.Machine != machine {
+			continue
+		}
+		if e.At <= ts && ts < e.At+e.Duration {
+			return true
+		}
+	}
+	return false
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sdfm/internal/fault"
 	"sdfm/internal/pagedata"
 	"sdfm/internal/simtime"
 	"sdfm/internal/telemetry"
@@ -50,6 +51,13 @@ type Config struct {
 	// (defaults 0.05 and 0.20).
 	NoiseColdSigma  float64
 	NoisePromoSigma float64
+	// Faults, when set and non-empty, damages the generated trace the way
+	// a lossy collection pipeline would: entries inside TelemetryDrop
+	// windows never make it into the trace, and entries inside
+	// TelemetryCorrupt windows are perturbed with stale checksums (callers
+	// scrub or reject them at load). Nil leaves the trace byte-identical
+	// to one generated without a plan.
+	Faults *fault.Plan
 }
 
 // DefaultWeights is the fleet archetype blend, chosen so the aggregate
@@ -144,6 +152,9 @@ func Generate(cfg Config) (*telemetry.Trace, error) {
 				return nil, err
 			}
 		}
+	}
+	if cfg.Faults != nil {
+		fault.ApplyToTrace(cfg.Faults, trace)
 	}
 	return trace, nil
 }

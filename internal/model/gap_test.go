@@ -1,0 +1,98 @@
+package model
+
+import (
+	"testing"
+
+	"sdfm/internal/core"
+	"sdfm/internal/telemetry"
+)
+
+// gapTrace builds a single-job trace with a hole: entries every 5 minutes
+// except a missing span of `missing` intervals starting after `head`.
+func gapTrace(t *testing.T, head, missing, tail int) *telemetry.Trace {
+	t.Helper()
+	tr := telemetry.NewTrace()
+	n := len(tr.Thresholds)
+	ts := int64(0)
+	emit := func() {
+		ts += 300
+		e := telemetry.Entry{
+			Key:             telemetry.JobKey{Cluster: "c", Machine: "m", Job: "j"},
+			TimestampSec:    ts,
+			IntervalMinutes: 5,
+			WSSPages:        100,
+			TotalPages:      1000,
+			ColdTails:       make([]uint64, n),
+			PromoTails:      make([]uint64, n),
+		}
+		for i := 0; i < n; i++ {
+			e.ColdTails[i] = uint64(600 - 10*i)
+		}
+		if err := tr.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < head; i++ {
+		emit()
+	}
+	ts += int64(missing) * 300
+	for i := 0; i < tail; i++ {
+		emit()
+	}
+	return tr
+}
+
+func TestGapAccounting(t *testing.T) {
+	cases := []struct {
+		name                string
+		head, missing, tail int
+		wantGaps            int
+	}{
+		{"continuous", 6, 0, 6, 0},
+		{"one missing interval", 6, 1, 6, 1},
+		{"long outage", 4, 10, 4, 10},
+		{"trailing only", 0, 0, 8, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := gapTrace(t, c.head, c.missing, c.tail)
+			fr, err := Run(tr, Config{Params: core.DefaultParams, SLO: core.DefaultSLO})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.GapIntervals != c.wantGaps {
+				t.Errorf("GapIntervals = %d, want %d", fr.GapIntervals, c.wantGaps)
+			}
+			observed := c.head + c.tail
+			wantCompleteness := float64(observed) / float64(observed+c.wantGaps)
+			if diff := fr.Completeness - wantCompleteness; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("Completeness = %v, want %v", fr.Completeness, wantCompleteness)
+			}
+		})
+	}
+}
+
+// TestGapsDoNotDiluteMeans checks the "accounted, not averaged" property:
+// a job with a hole must report the same per-interval means as the same
+// job without the hole, with only the gap counter differing.
+func TestGapsDoNotDiluteMeans(t *testing.T) {
+	cfg := Config{Params: core.DefaultParams, SLO: core.DefaultSLO}
+	whole, err := Run(gapTrace(t, 6, 0, 6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holed, err := Run(gapTrace(t, 6, 4, 6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, jh := whole.Jobs[0], holed.Jobs[0]
+	if jw.Intervals != jh.Intervals {
+		t.Fatalf("observed intervals differ: %d vs %d", jw.Intervals, jh.Intervals)
+	}
+	if jw.MeanColdAtMinPages != jh.MeanColdAtMinPages {
+		t.Errorf("cold mean diluted by gap: %v vs %v", jw.MeanColdAtMinPages, jh.MeanColdAtMinPages)
+	}
+	if jh.GapIntervals != 4 {
+		t.Errorf("GapIntervals = %d, want 4", jh.GapIntervals)
+	}
+}

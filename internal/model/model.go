@@ -65,6 +65,12 @@ type JobResult struct {
 	// Violations counts enabled intervals whose realized rate exceeded
 	// the SLO target.
 	Violations int
+	// GapIntervals counts intervals the trace should contain but does not:
+	// timestamp jumps larger than 1.5× the reporting interval (telemetry
+	// drops, agent restarts). Gap intervals are excluded from every mean —
+	// the replay accounts for them here instead of silently averaging
+	// across the hole as if the job had reported.
+	GapIntervals int
 
 	// RateSamples holds per-interval rates when Config.CollectSamples.
 	RateSamples []float64
@@ -89,6 +95,12 @@ type FleetResult struct {
 	ViolationFrac float64
 	// EnabledIntervals is the total enabled sample count.
 	EnabledIntervals int
+	// GapIntervals is the fleet total of inferred missing intervals.
+	GapIntervals int
+	// Completeness is observed / (observed + missing) intervals: 1.0 for a
+	// gap-free trace. A low value warns that coverage and rate estimates
+	// rest on partial data.
+	Completeness float64
 }
 
 // MeetsSLO reports whether the fleet result satisfies the SLO constraint.
@@ -165,10 +177,21 @@ func replayJob(trace *telemetry.Trace, key telemetry.JobKey, entries []telemetry
 	jr := JobResult{Key: key}
 	var rates []float64
 	var sumCold, sumColdMin, sumTotal, sumRate float64
+	var prevTS int64 = -1
+	var prevInterval float64
 
 	for _, e := range entries {
 		jr.Intervals++
 		now := time.Duration(e.TimestampSec) * time.Second
+		if prevTS >= 0 && prevInterval > 0 {
+			step := float64(e.TimestampSec-prevTS) / 60
+			if step > 1.5*prevInterval {
+				// The job went dark: count the missing intervals instead of
+				// letting the means pretend the series was continuous.
+				jr.GapIntervals += int(step/prevInterval+0.5) - 1
+			}
+		}
+		prevTS, prevInterval = e.TimestampSec, e.IntervalMinutes
 		enabled := ctrl.Enabled(now)
 
 		// The cold ceiling (coverage denominator) exists whether or not
@@ -261,6 +284,14 @@ func reduce(jobs []JobResult, cfg Config) FleetResult {
 		violations += j.Violations
 		meanRates = append(meanRates, j.MeanRate)
 	}
+	observed := 0
+	for _, j := range jobs {
+		observed += j.Intervals
+		r.GapIntervals += j.GapIntervals
+	}
+	if observed+r.GapIntervals > 0 {
+		r.Completeness = float64(observed) / float64(observed+r.GapIntervals)
+	}
 	if r.ColdBytesAtMin > 0 {
 		r.Coverage = r.ColdBytes / r.ColdBytesAtMin
 	}
@@ -275,6 +306,10 @@ func reduce(jobs []JobResult, cfg Config) FleetResult {
 
 // String renders the fleet result compactly.
 func (r FleetResult) String() string {
-	return fmt.Sprintf("coverage=%.3f coldGiB=%.2f p98rate=%.5f/min violations=%.3f jobs=%d",
+	s := fmt.Sprintf("coverage=%.3f coldGiB=%.2f p98rate=%.5f/min violations=%.3f jobs=%d",
 		r.Coverage, r.ColdBytes/(1<<30), r.P98Rate, r.ViolationFrac, len(r.Jobs))
+	if r.GapIntervals > 0 {
+		s += fmt.Sprintf(" gaps=%d completeness=%.3f", r.GapIntervals, r.Completeness)
+	}
+	return s
 }

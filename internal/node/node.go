@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sdfm/internal/core"
+	"sdfm/internal/fault"
 	"sdfm/internal/histogram"
 	"sdfm/internal/kreclaimd"
 	"sdfm/internal/kstaled"
@@ -96,6 +97,13 @@ type Job struct {
 	lastWSS      uint64
 	lastColdMin  uint64
 	intervalProm uint64 // promotion faults during the current interval
+
+	// Circuit-breaker state (see breaker.go).
+	breakerConsec   int           // consecutive SLO-violating intervals
+	backoffSteps    int           // current threshold-backoff level
+	breakerOpen     bool          // zswap disabled for this job
+	breakerReopenAt time.Duration // when an open breaker half-opens
+	breakerTrips    int           // times the breaker opened
 }
 
 // CompressionRatio returns the job's cumulative byte-weighted compression
@@ -152,6 +160,15 @@ type Config struct {
 	CollectSamples bool
 	// Seed namespaces per-job memcg content seeds.
 	Seed int64
+	// Injector, when set, drives deterministic fault injection: machine
+	// crashes, daemon stalls, telemetry drops, pressure spikes, churn
+	// bursts, and (via a fault.Tier wrapped around Tier) compressor
+	// errors and slowdowns. Nil injects nothing and leaves behaviour
+	// byte-identical to a machine built without one.
+	Injector *fault.Injector
+	// Breaker configures the per-job promotion-SLO circuit breaker;
+	// disabled by default.
+	Breaker BreakerConfig
 }
 
 // Machine is one simulated production machine.
@@ -159,6 +176,8 @@ type Machine struct {
 	cfg       Config
 	pool      zswap.FarMemory
 	zswapPool *zswap.Pool // non-nil when the tier is zswap (for compaction)
+	faultTier *fault.Tier // non-nil when an injector wraps the tier
+	inj       *fault.Injector
 	reclaimer *kreclaimd.Reclaimer
 	jobs      []*Job
 	now       time.Duration
@@ -171,6 +190,16 @@ type Machine struct {
 	scanPeriod    time.Duration
 	pressureRuns  int
 	pressureStall time.Duration
+
+	// Fault and degradation accounting.
+	crashes          int
+	stalledSteps     int  // steps whose kstaled scans were wedged
+	watchdogRestarts int  // daemon restarts by the agent's watchdog
+	daemonWedged     bool // stall carried into the current step
+	droppedExports   int  // telemetry exports suppressed by fault windows
+	churnKills       int  // jobs finished early by churn bursts
+	breakerTrips     int  // breaker opens across all jobs
+	backoffEvents    int  // breaker backoff escalations across all jobs
 }
 
 // NewMachine builds a machine.
@@ -196,6 +225,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.CompactEveryScans == 0 {
 		cfg.CompactEveryScans = 10
 	}
+	if cfg.Breaker.Enabled {
+		cfg.Breaker.fillDefaults()
+	}
 	tier := cfg.Tier
 	if tier == nil {
 		tier = zswap.NewPool()
@@ -203,13 +235,21 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m := &Machine{
 		cfg:         cfg,
 		pool:        tier,
-		reclaimer:   kreclaimd.New(tier),
 		scanPeriod:  cfg.ScanPeriod,
 		exportEvery: telemetry.DefaultAggregation,
+		inj:         cfg.Injector,
 	}
 	if zp, ok := tier.(*zswap.Pool); ok {
 		m.zswapPool = zp
 	}
+	if cfg.Injector != nil {
+		// Compressor faults are injected between the control plane and
+		// the tier, so every store/load path (proactive reclaim, direct
+		// reclaim, promotion faults) sees them.
+		m.faultTier = fault.WrapTier(tier, cfg.Injector, func() time.Duration { return m.now })
+		m.pool = m.faultTier
+	}
+	m.reclaimer = kreclaimd.New(m.pool)
 	return m, nil
 }
 
@@ -353,11 +393,25 @@ func (m *Machine) ColdFraction() float64 {
 
 // Step advances the machine by one scan period: workload accesses,
 // kstaled scan, agent control (threshold + reclaim), compaction,
-// telemetry export, and memory-pressure handling.
+// telemetry export, and memory-pressure handling. Injected faults are
+// applied at the boundaries where their production counterparts strike:
+// crashes and churn before the interval's work, daemon stalls at the
+// scan, pressure spikes at the capacity check, drops at export.
 func (m *Machine) Step() error {
 	m.now += m.scanPeriod
 	m.scans++
 	intervalMinutes := m.scanPeriod.Minutes()
+
+	if m.inj.CrashDue(m.now) {
+		if err := m.crash(); err != nil {
+			return err
+		}
+	}
+	if frac, ok := m.inj.ChurnBurstDue(m.now); ok {
+		if err := m.churnBurst(frac); err != nil {
+			return err
+		}
+	}
 
 	// 1. Application allocation growth, memcg limits, then accesses;
 	// faults on compressed pages promote.
@@ -390,7 +444,8 @@ func (m *Machine) Step() error {
 				j.Tracker.RecordPromotionFault(page)
 				lr, err := m.pool.Load(j.Memcg, id)
 				if err != nil {
-					faultErr = fmt.Errorf("node: promotion fault on %s page %d: %w", j.Memcg.Name(), id, err)
+					faultErr = fmt.Errorf("node: promotion fault on %s page %d: %v: %w",
+						j.Memcg.Name(), id, err, ErrPromotionFailed)
 					return
 				}
 				j.DecompressCPU += lr.CPUTime
@@ -408,10 +463,26 @@ func (m *Machine) Step() error {
 		j.CPUUsed += j.Workload.CPUUsage(m.now, m.scanPeriod)
 	}
 
-	// 2. kstaled scans.
-	for _, j := range m.jobs {
-		if j.State == JobRunning {
-			j.Tracker.Scan()
+	// 2. kstaled scans — unless the daemon is wedged by a stall fault, in
+	// which case the agent's watchdog notices the missed scan at the end
+	// of the step and restarts it (the daemon may wedge again while the
+	// underlying fault persists).
+	scanWedged := false
+	if m.inj.StallActive(m.now) && !m.daemonWedged {
+		scanWedged = true
+		m.daemonWedged = true
+		m.stalledSteps++
+	} else if m.daemonWedged {
+		// The watchdog restarted the daemon after the previous step's
+		// missed scan; it runs again this step.
+		m.daemonWedged = false
+		m.watchdogRestarts++
+	}
+	if !scanWedged {
+		for _, j := range m.jobs {
+			if j.State == JobRunning {
+				j.Tracker.Scan()
+			}
 		}
 	}
 
@@ -434,13 +505,25 @@ func (m *Machine) Step() error {
 			rate := float64(j.intervalProm) / intervalMinutes / float64(wss)
 			j.rateSamples = append(j.rateSamples, rate)
 		}
+		// The circuit breaker judges the job on its realized rate before
+		// the interval counter resets.
+		if m.cfg.Breaker.Enabled {
+			m.updateBreaker(j, intervalMinutes)
+		}
 		j.intervalProm = 0
 
 		// zswap is off for jobs at their memcg limit: compressing to stave
 		// off the limit wastes cycles the scheduler will reclaim anyway by
-		// killing the job (§5.1).
-		if m.cfg.Mode == ModeProactive && j.Controller.Enabled(m.now) && !j.Memcg.AtLimit() {
+		// killing the job (§5.1). An open breaker likewise disables zswap
+		// for the job until its cooldown expires.
+		if m.cfg.Mode == ModeProactive && j.Controller.Enabled(m.now) && !j.Memcg.AtLimit() && !j.breakerOpen {
 			th := j.Controller.Threshold()
+			if p := j.breakerPenalty(&m.cfg.Breaker); p > 0 {
+				th += p
+				if th > histogram.MaxBucket {
+					th = histogram.MaxBucket
+				}
+			}
 			res := m.reclaimer.ReclaimCold(j.Memcg, th)
 			j.CompressCPU += res.CPUTime
 			j.StoredPages += uint64(res.Stored)
@@ -458,14 +541,131 @@ func (m *Machine) Step() error {
 		return err
 	}
 
-	// 6. Telemetry export.
+	// 6. Telemetry export. A drop window suppresses the export but keeps
+	// the cadence, leaving a gap in the trace for the model to account.
 	if m.cfg.Collector != nil && m.now-m.lastExport >= m.exportEvery {
-		if err := m.export(); err != nil {
+		if m.inj.TelemetryDropped(m.now) {
+			m.droppedExports++
+		} else if err := m.export(); err != nil {
 			return err
 		}
 		m.lastExport = m.now
 	}
 	return nil
+}
+
+// capacityBytes is the DRAM available to jobs right now: the machine's
+// nominal capacity minus whatever a pressure-spike fault is withholding.
+func (m *Machine) capacityBytes() uint64 {
+	capb := m.cfg.DRAMBytes
+	if extra := m.inj.PressureExtraBytes(m.now, m.cfg.DRAMBytes); extra > 0 {
+		if extra >= capb {
+			return 0
+		}
+		capb -= extra
+	}
+	return capb
+}
+
+// crash simulates a machine restart: the compressed pool's content is
+// lost, and every running job restarts in place — resident pages refault
+// cold (age 0), far-memory pages are gone without promotion cost, the
+// controller loses its history, and the S-second warmup applies anew.
+// Cumulative job accounting (CPU, promotions, stored bytes) survives, as
+// production monitoring counters would.
+func (m *Machine) crash() error {
+	m.crashes++
+	for _, j := range m.jobs {
+		if j.State != JobRunning {
+			continue
+		}
+		if err := m.releaseFarMemory(j); err != nil {
+			return err
+		}
+		j.Memcg.ForEachPage(func(_ mem.PageID, p *mem.Page) {
+			p.Age = 0
+			p.Clear(mem.FlagAccessed | mem.FlagIncompressible)
+		})
+		j.Tracker = kstaled.NewTracker(j.Memcg, kstaled.Config{ScanPeriod: m.scanPeriod})
+		ctrl, err := core.NewController(core.ControllerConfig{
+			SLO:      m.cfg.SLO,
+			Params:   m.cfg.Params,
+			JobStart: m.now,
+		})
+		if err != nil {
+			return err
+		}
+		j.Controller = ctrl
+		j.prevPromo = nil
+		j.intervalProm = 0
+		j.lastWSS = 0
+		j.lastColdMin = 0
+		j.breakerConsec = 0
+		j.backoffSteps = 0
+		j.breakerOpen = false
+		if m.cfg.Collector != nil {
+			// The restarted job's cumulative promotion counters reset;
+			// the collector must not see them "go backwards".
+			m.cfg.Collector.Forget(m.jobKey(j))
+		}
+	}
+	if m.zswapPool != nil {
+		// The dropped pool's arena is empty now; compaction releases its
+		// physical zspages, completing the restart.
+		m.zswapPool.Compact()
+	}
+	m.daemonWedged = false
+	return nil
+}
+
+// churnBurst finishes frac of the running jobs early (normal churn, not
+// eviction), lowest priority first.
+func (m *Machine) churnBurst(frac float64) error {
+	running := m.jobsByPriority()
+	n := int(frac * float64(len(running)))
+	for i := 0; i < n; i++ {
+		if err := m.RemoveJob(running[i]); err != nil {
+			return err
+		}
+		m.churnKills++
+	}
+	return nil
+}
+
+// FaultStats aggregates a machine's fault-injection and degradation
+// counters.
+type FaultStats struct {
+	Crashes          int    `json:"crashes"`
+	StalledSteps     int    `json:"stalledSteps"`
+	WatchdogRestarts int    `json:"watchdogRestarts"`
+	DroppedExports   int    `json:"droppedExports"`
+	ChurnKills       int    `json:"churnKills"`
+	BreakerTrips     int    `json:"breakerTrips"`
+	BackoffEvents    int    `json:"backoffEvents"`
+	InjectedErrors   uint64 `json:"injectedErrors"` // stores failed by compressor-error windows
+	SlowedStores     uint64 `json:"slowedStores"`
+	SlowedLoads      uint64 `json:"slowedLoads"`
+}
+
+// FaultStats returns the machine's fault accounting. All zeros on a
+// machine without an injector.
+func (m *Machine) FaultStats() FaultStats {
+	fs := FaultStats{
+		Crashes:          m.crashes,
+		StalledSteps:     m.stalledSteps,
+		WatchdogRestarts: m.watchdogRestarts,
+		DroppedExports:   m.droppedExports,
+		ChurnKills:       m.churnKills,
+		BreakerTrips:     m.breakerTrips,
+		BackoffEvents:    m.backoffEvents,
+	}
+	if m.faultTier != nil {
+		ts := m.faultTier.TierStats()
+		fs.InjectedErrors = ts.InjectedErrors
+		fs.SlowedStores = ts.SlowedStores
+		fs.SlowedLoads = ts.SlowedLoads
+	}
+	return fs
 }
 
 // handlePressure resolves near-memory overcommit. In reactive mode it runs
@@ -474,45 +674,65 @@ func (m *Machine) Step() error {
 // limit. If pressure persists — or in proactive mode, where the paper
 // prefers failing fast — the lowest-priority job is evicted.
 func (m *Machine) handlePressure() error {
-	if m.UsedBytes() <= m.cfg.DRAMBytes {
+	capacity := m.capacityBytes()
+	if m.UsedBytes() <= capacity {
 		return nil
 	}
 	if m.cfg.Mode == ModeReactive {
 		m.pressureRuns++
-		need := m.UsedBytes() - m.cfg.DRAMBytes
-		for _, j := range m.jobsByPriority() {
+		// Compressed pages land in the pool's own DRAM footprint, so each
+		// reclaimed page frees less than a page of near memory. Re-measure
+		// the residual need each pass and keep reclaiming until the machine
+		// fits or no job makes progress.
+		for {
+			need := uint64(0)
+			if used := m.UsedBytes(); used > capacity {
+				need = used - capacity
+			}
 			if need == 0 {
+				return nil
+			}
+			progress := false
+			for _, j := range m.jobsByPriority() {
+				if need == 0 {
+					break
+				}
+				// Soft limit: do not reclaim below the working set (§5.1).
+				resident := j.Memcg.ResidentBytes()
+				softLimit := j.lastWSS * mem.PageSize
+				if resident <= softLimit {
+					continue
+				}
+				budget := resident - softLimit
+				if budget > need {
+					budget = need
+				}
+				res := m.reclaimer.ReclaimUnderPressure(j.Memcg, budget)
+				j.StallTime += res.CPUTime // direct reclaim stalls the allocating thread
+				j.CompressCPU += res.CPUTime
+				j.StoredPages += uint64(res.Stored)
+				j.StoredBytes += res.StoredBytes
+				m.pressureStall += res.CPUTime
+				if res.Stored > 0 {
+					progress = true
+				}
+				freed := uint64(res.Stored) * mem.PageSize
+				if freed >= need {
+					need = 0
+				} else {
+					need -= freed
+				}
+			}
+			if !progress {
 				break
-			}
-			// Soft limit: do not reclaim below the working set (§5.1).
-			resident := j.Memcg.ResidentBytes()
-			softLimit := j.lastWSS * mem.PageSize
-			if resident <= softLimit {
-				continue
-			}
-			budget := resident - softLimit
-			if budget > need {
-				budget = need
-			}
-			res := m.reclaimer.ReclaimUnderPressure(j.Memcg, budget)
-			j.StallTime += res.CPUTime // direct reclaim stalls the allocating thread
-			j.CompressCPU += res.CPUTime
-			j.StoredPages += uint64(res.Stored)
-			j.StoredBytes += res.StoredBytes
-			m.pressureStall += res.CPUTime
-			freed := uint64(res.Stored) * mem.PageSize
-			if freed >= need {
-				need = 0
-			} else {
-				need -= freed
 			}
 		}
 	}
 	// Evict lowest-priority jobs until the machine fits.
-	for m.UsedBytes() > m.cfg.DRAMBytes {
+	for m.UsedBytes() > capacity {
 		victim := m.lowestPriorityRunning()
 		if victim == nil {
-			return fmt.Errorf("node: machine %s out of memory with no evictable jobs", m.cfg.Name)
+			return fmt.Errorf("machine %s: %w", m.cfg.Name, ErrOutOfMemory)
 		}
 		if err := m.evict(victim); err != nil {
 			return err
@@ -545,12 +765,41 @@ func (m *Machine) lowestPriorityRunning() *Job {
 	return js[0]
 }
 
+// JobByName finds a job by its memcg name, preferring a running instance.
+// It wraps ErrJobNotFound when no such job exists.
+func (m *Machine) JobByName(name string) (*Job, error) {
+	var found *Job
+	for _, j := range m.jobs {
+		if j.Memcg.Name() != name {
+			continue
+		}
+		if j.State == JobRunning {
+			return j, nil
+		}
+		found = j
+	}
+	if found != nil {
+		return found, nil
+	}
+	return nil, fmt.Errorf("machine %s has no job %q: %w", m.cfg.Name, name, ErrJobNotFound)
+}
+
+// RemoveJobByName retires the named running job. It wraps ErrJobNotFound
+// or ErrJobNotRunning on failure.
+func (m *Machine) RemoveJobByName(name string) error {
+	j, err := m.JobByName(name)
+	if err != nil {
+		return err
+	}
+	return m.RemoveJob(j)
+}
+
 // RemoveJob retires a job that finished normally: its far-memory pages
 // are discarded (no decompression cost) and its memory is released. The
 // slot becomes free for the scheduler to reuse.
 func (m *Machine) RemoveJob(j *Job) error {
 	if j.State != JobRunning {
-		return fmt.Errorf("node: removing job %s in state %d", j.Memcg.Name(), j.State)
+		return fmt.Errorf("removing job %s in state %s: %w", j.Memcg.Name(), jobStateName(j.State), ErrJobNotRunning)
 	}
 	if err := m.releaseFarMemory(j); err != nil {
 		return err

@@ -218,6 +218,9 @@ func TestEvictionUnderExtremePressure(t *testing.T) {
 }
 
 func TestPromotionRateBoundedByController(t *testing.T) {
+	if raceEnabled {
+		t.Skip("multi-hour sim is too slow under the race detector; shorter node tests cover these paths")
+	}
 	// The controller picks the smallest SLO-feasible threshold, so
 	// binding workloads ride the SLO boundary: realized time-averaged
 	// rates must hug the target rather than run away. With simulated jobs

@@ -1,0 +1,5 @@
+//go:build !race
+
+package node
+
+const raceEnabled = false

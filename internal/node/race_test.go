@@ -1,0 +1,8 @@
+//go:build race
+
+package node
+
+// raceEnabled lets long multi-hour machine simulations skip under the race
+// detector's ~15x slowdown; shorter node tests keep exercising the same
+// code paths with -race.
+const raceEnabled = true

@@ -25,6 +25,7 @@ type Snapshot struct {
 	Coverage   float64       `json:"coverage"`
 	Evictions  int           `json:"evictions"`
 	LimitKills int           `json:"limitKills"`
+	Faults     FaultStats    `json:"faults"`
 	Jobs       []JobSnapshot `json:"jobs"`
 }
 
@@ -43,6 +44,8 @@ type JobSnapshot struct {
 	CompressionRatio  float64       `json:"compressionRatio"`
 	CompressOverhead  float64       `json:"compressOverheadFrac"`
 	DecompressOverhed float64       `json:"decompressOverheadFrac"`
+	Breaker           string        `json:"breaker"`
+	BreakerTrips      int           `json:"breakerTrips"`
 }
 
 func jobStateName(s JobState) string {
@@ -75,6 +78,7 @@ func (m *Machine) Snapshot() Snapshot {
 		Coverage:   m.Coverage(),
 		Evictions:  m.evictions,
 		LimitKills: m.limitKills,
+		Faults:     m.FaultStats(),
 	}
 	for _, j := range m.jobs {
 		s.Jobs = append(s.Jobs, JobSnapshot{
@@ -91,6 +95,8 @@ func (m *Machine) Snapshot() Snapshot {
 			CompressionRatio:  j.CompressionRatio(),
 			CompressOverhead:  j.CPUOverheadCompress(),
 			DecompressOverhed: j.CPUOverheadDecompress(),
+			Breaker:           j.BreakerState().String(),
+			BreakerTrips:      j.breakerTrips,
 		})
 	}
 	return s

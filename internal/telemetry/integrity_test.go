@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func intactEntry(tr *Trace, ts int64) Entry {
+	n := len(tr.Thresholds)
+	e := Entry{
+		Key:             JobKey{Cluster: "c", Machine: "m", Job: "j"},
+		TimestampSec:    ts,
+		IntervalMinutes: 5,
+		WSSPages:        10,
+		TotalPages:      100,
+		ColdTails:       make([]uint64, n),
+		PromoTails:      make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		e.ColdTails[i] = uint64(50 - i)
+		e.PromoTails[i] = uint64(25 - i)
+	}
+	return e
+}
+
+func TestAppendStampsChecksum(t *testing.T) {
+	tr := NewTrace()
+	if err := tr.Append(intactEntry(tr, 300)); err != nil {
+		t.Fatal(err)
+	}
+	e := tr.Entries[0]
+	if e.Checksum == 0 {
+		t.Fatal("append left checksum unset")
+	}
+	if err := e.VerifyChecksum(); err != nil {
+		t.Fatal(err)
+	}
+	e.WSSPages++
+	if err := e.VerifyChecksum(); err == nil {
+		t.Error("mutated entry still verifies")
+	}
+}
+
+func TestLoadTraceRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	for i := int64(1); i <= 3; i++ {
+		if err := tr.Append(intactEntry(tr, i*300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip lost entries: %d vs %d", got.Len(), tr.Len())
+	}
+}
+
+// TestLoadTraceRejectsCorruptedGob flips payload bits in a saved gob
+// stream until decoding succeeds but validation must catch the damage.
+func TestLoadTraceRejectsCorruptedGob(t *testing.T) {
+	tr := NewTrace()
+	for i := int64(1); i <= 5; i++ {
+		if err := tr.Append(intactEntry(tr, i*300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	caught := 0
+	for off := len(raw) / 2; off < len(raw); off += 7 {
+		dam := append([]byte(nil), raw...)
+		dam[off] ^= 0xff
+		if _, err := LoadTrace(bytes.NewReader(dam)); err != nil {
+			caught++
+		}
+	}
+	// Most single-byte flips must be rejected (either gob decode failure
+	// or checksum/validation failure); none may silently load as valid.
+	if caught == 0 {
+		t.Fatal("no corrupted stream was rejected")
+	}
+	t.Logf("rejected %d corrupted streams", caught)
+}
+
+func TestLoadTraceRejectsTamperedEntry(t *testing.T) {
+	// Decode-level corruption that gob itself cannot notice: a tampered
+	// field with a stale checksum must fail validation on load.
+	tr := NewTrace()
+	if err := tr.Append(intactEntry(tr, 300)); err != nil {
+		t.Fatal(err)
+	}
+	tr.Entries[0].WSSPages += 99 // checksum now stale
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadTrace(&buf)
+	if err == nil {
+		t.Fatal("tampered entry loaded without error")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("error %q does not describe the corruption", err)
+	}
+}
+
+func TestLoadTraceJSONValidates(t *testing.T) {
+	tr := NewTrace()
+	if err := tr.Append(intactEntry(tr, 300)); err != nil {
+		t.Fatal(err)
+	}
+	good, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTraceJSON(bytes.NewReader(good)); err != nil {
+		t.Fatalf("valid JSON trace rejected: %v", err)
+	}
+
+	// Tamper with a numeric field inside the JSON text.
+	bad := bytes.Replace(good, []byte(`"WSSPages":10`), []byte(`"WSSPages":11`), 1)
+	if bytes.Equal(bad, good) {
+		t.Fatal("tamper target not found in JSON")
+	}
+	if _, err := LoadTraceJSON(bytes.NewReader(bad)); err == nil {
+		t.Fatal("tampered JSON trace loaded without error")
+	}
+
+	// Truncated stream.
+	if _, err := LoadTraceJSON(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("truncated JSON trace loaded without error")
+	}
+}
+
+func TestLoadTraceRejectsBadHeader(t *testing.T) {
+	cases := []Trace{
+		{ScanPeriodSeconds: 0, Thresholds: []int{1, 2}},
+		{ScanPeriodSeconds: 120, Thresholds: nil},
+		{ScanPeriodSeconds: 120, Thresholds: []int{2, 2}},
+	}
+	for i, tr := range cases {
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadTrace(&buf); err == nil {
+			t.Errorf("case %d: malformed trace header accepted", i)
+		}
+	}
+}
+
+func TestScrubKeepsLegacyEntries(t *testing.T) {
+	tr := NewTrace()
+	for i := int64(1); i <= 4; i++ {
+		if err := tr.Append(intactEntry(tr, i*300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Entries[1].TotalPages++    // stale checksum: must go
+	tr.Entries[2].Checksum = 0    // legacy unchecksummed: must stay
+	tr.Entries[3].ColdTails = nil // structurally invalid: must go
+	if dropped := tr.Scrub(); dropped != 2 {
+		t.Fatalf("scrub dropped %d, want 2", dropped)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("scrub left %d entries, want 2", tr.Len())
+	}
+}

@@ -12,9 +12,13 @@
 package telemetry
 
 import (
+	"encoding/binary"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"sort"
 	"time"
 
@@ -78,6 +82,54 @@ type Entry struct {
 	// actually compress (the rest are incompressible media/ciphertext and
 	// never enter zswap). Zero is treated as 1 for backward compatibility.
 	CompressibleFrac float64
+	// Checksum is an FNV-1a digest over every other field, set when the
+	// entry enters a trace and verified on load so at-rest corruption is
+	// detected instead of silently replayed. Zero means "unchecksummed"
+	// (a trace written before checksums existed).
+	Checksum uint64
+}
+
+// ComputeChecksum digests every field except Checksum itself.
+func (e *Entry) ComputeChecksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(e.Key.Cluster))
+	h.Write([]byte{0})
+	h.Write([]byte(e.Key.Machine))
+	h.Write([]byte{0})
+	h.Write([]byte(e.Key.Job))
+	h.Write([]byte{0})
+	word(uint64(e.TimestampSec))
+	word(math.Float64bits(e.IntervalMinutes))
+	word(e.WSSPages)
+	word(e.TotalPages)
+	word(uint64(len(e.ColdTails)))
+	for _, v := range e.ColdTails {
+		word(v)
+	}
+	word(uint64(len(e.PromoTails)))
+	for _, v := range e.PromoTails {
+		word(v)
+	}
+	word(math.Float64bits(e.CompressibleFrac))
+	return h.Sum64()
+}
+
+// VerifyChecksum reports corruption: a nonzero stored checksum that does
+// not match the entry's content.
+func (e *Entry) VerifyChecksum() error {
+	if e.Checksum == 0 {
+		return nil // legacy unchecksummed entry
+	}
+	if got := e.ComputeChecksum(); got != e.Checksum {
+		return fmt.Errorf("telemetry: entry %s at t=%ds corrupt: checksum %#x, content digests to %#x",
+			e.Key, e.TimestampSec, e.Checksum, got)
+	}
+	return nil
 }
 
 // Validate checks an entry against the trace's threshold set size.
@@ -117,13 +169,36 @@ func NewTrace() *Trace {
 	}
 }
 
-// Append adds an entry after validation.
+// Append adds an entry after validation, stamping its checksum if unset.
 func (t *Trace) Append(e Entry) error {
 	if err := e.Validate(len(t.Thresholds)); err != nil {
 		return err
 	}
+	if e.Checksum == 0 {
+		e.Checksum = e.ComputeChecksum()
+	}
 	t.Entries = append(t.Entries, e)
 	return nil
+}
+
+// Scrub removes entries that fail validation or checksum verification,
+// returning how many were dropped. It is the degraded-mode counterpart to
+// LoadTrace's strict rejection: a control plane that must keep running on
+// a partially corrupted trace scrubs it and replays the gaps-accounted
+// remainder (see model.JobResult.GapIntervals).
+func (t *Trace) Scrub() int {
+	kept := t.Entries[:0]
+	dropped := 0
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.Validate(len(t.Thresholds)) != nil || e.VerifyChecksum() != nil {
+			dropped++
+			continue
+		}
+		kept = append(kept, *e)
+	}
+	t.Entries = kept
+	return dropped
 }
 
 // Len returns the number of entries.
@@ -173,18 +248,53 @@ func (t *Trace) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(t)
 }
 
-// LoadTrace decodes a trace written by Save.
+// LoadTrace decodes a trace written by Save, rejecting malformed or
+// corrupted entries with a descriptive error.
 func LoadTrace(r io.Reader) (*Trace, error) {
 	var t Trace
 	if err := gob.NewDecoder(r).Decode(&t); err != nil {
 		return nil, fmt.Errorf("telemetry: decoding trace: %w", err)
 	}
-	for i := range t.Entries {
-		if err := t.Entries[i].Validate(len(t.Thresholds)); err != nil {
-			return nil, err
-		}
+	if err := validateLoaded(&t); err != nil {
+		return nil, err
 	}
 	return &t, nil
+}
+
+// LoadTraceJSON decodes a trace written in the JSON interchange format
+// (cmd/tracegen -format json), with the same validation as LoadTrace.
+func LoadTraceJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding JSON trace: %w", err)
+	}
+	if err := validateLoaded(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+func validateLoaded(t *Trace) error {
+	if t.ScanPeriodSeconds <= 0 {
+		return fmt.Errorf("telemetry: trace with non-positive scan period %d", t.ScanPeriodSeconds)
+	}
+	if len(t.Thresholds) == 0 {
+		return fmt.Errorf("telemetry: trace with no thresholds")
+	}
+	for i := 1; i < len(t.Thresholds); i++ {
+		if t.Thresholds[i] <= t.Thresholds[i-1] {
+			return fmt.Errorf("telemetry: thresholds not strictly increasing at %d", i)
+		}
+	}
+	for i := range t.Entries {
+		if err := t.Entries[i].Validate(len(t.Thresholds)); err != nil {
+			return fmt.Errorf("telemetry: loaded entry %d invalid: %w", i, err)
+		}
+		if err := t.Entries[i].VerifyChecksum(); err != nil {
+			return fmt.Errorf("telemetry: loaded entry %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Collector accumulates per-job interval deltas for export. The node

@@ -1,0 +1,140 @@
+package tuner
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/model"
+	"sdfm/internal/telemetry"
+)
+
+func stageResult(p98 float64, enabled int) model.FleetResult {
+	return model.FleetResult{P98Rate: p98, Coverage: 0.5, EnabledIntervals: enabled}
+}
+
+func TestStagedRolloutAccepts(t *testing.T) {
+	slo := core.DefaultSLO
+	var seen []string
+	obj := func(p core.Params, st RolloutStage, idx int) (model.FleetResult, error) {
+		seen = append(seen, st.Name)
+		return stageResult(slo.TargetRatePerMin/2, 100), nil
+	}
+	cand := core.Params{K: 90, S: time.Minute}
+	inc := core.Params{K: 98, S: time.Hour}
+	rep, err := StagedRollout(cand, inc, obj, nil, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || rep.Chosen != cand || rep.Err != nil {
+		t.Fatalf("healthy rollout not accepted: %+v", rep)
+	}
+	if len(seen) != len(DefaultRolloutStages) {
+		t.Errorf("ran %d stages, want %d", len(seen), len(DefaultRolloutStages))
+	}
+}
+
+func TestStagedRolloutRollsBackMidDeployment(t *testing.T) {
+	slo := core.DefaultSLO
+	obj := func(p core.Params, st RolloutStage, idx int) (model.FleetResult, error) {
+		if st.Name == "half" {
+			return stageResult(slo.TargetRatePerMin*3, 100), nil
+		}
+		return stageResult(slo.TargetRatePerMin/2, 100), nil
+	}
+	cand := core.Params{K: 60, S: 0}
+	inc := core.Params{K: 98, S: time.Hour}
+	rep, err := StagedRollout(cand, inc, obj, nil, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("SLO-breaching rollout accepted")
+	}
+	if rep.Chosen != inc {
+		t.Errorf("rollback chose %+v, want incumbent %+v", rep.Chosen, inc)
+	}
+	if rep.RolledBackAt != "half" {
+		t.Errorf("rolled back at %q, want \"half\"", rep.RolledBackAt)
+	}
+	if !errors.Is(rep.Err, ErrSLOViolated) {
+		t.Errorf("rollback error %v does not wrap ErrSLOViolated", rep.Err)
+	}
+	// The fleet stage must never have run.
+	if got := len(rep.Stages); got != 3 {
+		t.Errorf("rollout ran %d stages, want 3 (canary, early, half)", got)
+	}
+}
+
+func TestStagedRolloutRejectsEmptyStage(t *testing.T) {
+	obj := func(p core.Params, st RolloutStage, idx int) (model.FleetResult, error) {
+		return stageResult(0, 0), nil // nothing enabled: can't judge health
+	}
+	rep, err := StagedRollout(core.Params{K: 90, S: 0}, core.Params{K: 98, S: time.Hour}, obj, nil, core.DefaultSLO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted || !errors.Is(rep.Err, ErrNoObservations) {
+		t.Fatalf("unobservable stage accepted: %+v", rep)
+	}
+}
+
+func TestQualifyAndDeployErrWrapsSentinel(t *testing.T) {
+	slo := core.DefaultSLO
+	hot := func(core.Params) (model.FleetResult, error) {
+		return stageResult(slo.TargetRatePerMin*2, 100), nil
+	}
+	dec, err := QualifyAndDeploy(core.Params{K: 60, S: 0}, core.Params{K: 98, S: time.Hour}, hot, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Accepted {
+		t.Fatal("violating candidate accepted")
+	}
+	if !errors.Is(dec.Err, ErrSLOViolated) {
+		t.Errorf("decision error %v does not wrap ErrSLOViolated", dec.Err)
+	}
+}
+
+func TestTraceStageObjectivePartitions(t *testing.T) {
+	// Two jobs, 8 intervals each; with 2 stages the windows split in half
+	// and the fleet stage (fraction 1.0) must see strictly more jobs than
+	// a tiny canary.
+	tr := telemetry.NewTrace()
+	n := len(tr.Thresholds)
+	for j := 0; j < 20; j++ {
+		for i := int64(1); i <= 8; i++ {
+			e := telemetry.Entry{
+				Key:             telemetry.JobKey{Cluster: "c", Machine: "m", Job: string(rune('a' + j))},
+				TimestampSec:    i * 300,
+				IntervalMinutes: 5,
+				WSSPages:        100,
+				TotalPages:      1000,
+				ColdTails:       make([]uint64, n),
+				PromoTails:      make([]uint64, n),
+			}
+			for k := 0; k < n; k++ {
+				e.ColdTails[k] = uint64(500 - k)
+			}
+			if err := tr.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	obj := TraceStageObjective(tr, model.Config{SLO: core.DefaultSLO}, 2)
+	small, err := obj(core.DefaultParams, RolloutStage{Name: "canary", Fraction: 0.2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := obj(core.DefaultParams, RolloutStage{Name: "fleet", Fraction: 1.0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Jobs) != 20 {
+		t.Errorf("fleet stage saw %d jobs, want all 20", len(full.Jobs))
+	}
+	if len(small.Jobs) == 0 || len(small.Jobs) >= len(full.Jobs) {
+		t.Errorf("canary saw %d jobs, fleet %d: want 0 < canary < fleet", len(small.Jobs), len(full.Jobs))
+	}
+}

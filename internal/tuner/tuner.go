@@ -231,7 +231,7 @@ func gpKernel(history []Observation, cfg Config) gp.Kernel {
 
 func pickBest(history []Observation) (Observation, error) {
 	if len(history) == 0 {
-		return Observation{}, fmt.Errorf("tuner: no observations")
+		return Observation{}, ErrNoObservations
 	}
 	best := history[0]
 	for _, o := range history[1:] {
@@ -256,7 +256,7 @@ func betterThan(a, b Observation) bool {
 // one.
 func HeuristicTune(obj Objective, candidates []core.Params, slo core.SLO) (Result, error) {
 	if len(candidates) == 0 {
-		return Result{}, fmt.Errorf("tuner: no heuristic candidates")
+		return Result{}, fmt.Errorf("tuner: no heuristic candidates: %w", ErrNoObservations)
 	}
 	var res Result
 	for _, p := range candidates {
@@ -294,6 +294,10 @@ type DeploymentDecision struct {
 	// QualResult is the candidate's result on the qualification slice.
 	QualResult model.FleetResult
 	Reason     string
+	// Err is non-nil on rollback and wraps ErrSLOViolated so callers can
+	// branch with errors.Is; a rollback is still a nil-error return from
+	// QualifyAndDeploy (it is a decision, not a failure).
+	Err error
 }
 
 // QualifyAndDeploy gates a candidate configuration behind a qualification
@@ -312,6 +316,8 @@ func QualifyAndDeploy(candidate, incumbent core.Params, holdout Objective, slo c
 			QualResult: fr,
 			Reason: fmt.Sprintf("qualification p98 rate %.5f exceeds SLO %.5f; rolled back",
 				fr.P98Rate, slo.TargetRatePerMin),
+			Err: fmt.Errorf("tuner: qualification p98 %.5f > %.5f: %w",
+				fr.P98Rate, slo.TargetRatePerMin, ErrSLOViolated),
 		}, nil
 	}
 	return DeploymentDecision{

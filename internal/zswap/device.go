@@ -69,7 +69,8 @@ func (d *DevicePool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 	}
 	if d.profile.CapacityBytes > 0 && d.used+mem.PageSize > d.profile.CapacityBytes {
 		d.stats.FullRejects++
-		return StoreResult{Outcome: StoreRejectedFull}
+		return StoreResult{Outcome: StoreRejectedFull,
+			Err: fmt.Errorf("storing page %d of %s: %w", id, m.Name(), ErrPoolFull)}
 	}
 	m.MarkCompressed(id, 1, mem.PageSize) // handle unused; full page stored
 	d.used += mem.PageSize

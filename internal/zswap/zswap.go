@@ -15,6 +15,7 @@ package zswap
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
@@ -44,7 +45,19 @@ const (
 	// without occupying arena space (the zswap same-filled-page
 	// optimization: the content is reconstructible from metadata alone).
 	StoreZeroFilled
+	// StoreErrored means the compressor failed transiently (an injected
+	// or hardware fault); the page stays resident and may be retried on a
+	// later reclaim pass.
+	StoreErrored
 )
+
+// ErrPoolFull is the sentinel carried by StoreResult.Err when a store is
+// refused for capacity; callers test it with errors.Is.
+var ErrPoolFull = errors.New("zswap: pool at capacity")
+
+// ErrStoreFailed is the sentinel for transient compressor failures
+// (StoreErrored outcomes).
+var ErrStoreFailed = errors.New("zswap: store failed")
 
 // StoreResult describes a Store call.
 type StoreResult struct {
@@ -52,6 +65,10 @@ type StoreResult struct {
 	CompressedSize int
 	Ratio          float64       // original/compressed for accepted pages
 	CPUTime        time.Duration // cycles charged to the job
+	// Err carries a sentinel (ErrPoolFull, ErrStoreFailed) for refused
+	// stores so callers can branch with errors.Is; nil for accepted pages
+	// and incompressible rejections (which are expected outcomes).
+	Err error
 }
 
 // LoadResult describes a Load (promotion) call.
@@ -186,7 +203,8 @@ func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 		if p.arena.Stats().PhysicalBytes+needed > p.capacityBytes {
 			p.stats.FullRejects++
 			p.stats.CompressCPU += cpu
-			return StoreResult{Outcome: StoreRejectedFull, CompressedSize: size, CPUTime: cpu}
+			return StoreResult{Outcome: StoreRejectedFull, CompressedSize: size, CPUTime: cpu,
+				Err: fmt.Errorf("storing page %d of %s: %w", id, m.Name(), ErrPoolFull)}
 		}
 	}
 	var payload []byte

@@ -33,6 +33,7 @@ import (
 
 	"sdfm/internal/cluster"
 	"sdfm/internal/core"
+	"sdfm/internal/fault"
 	"sdfm/internal/fleet"
 	"sdfm/internal/model"
 	"sdfm/internal/node"
@@ -230,6 +231,116 @@ func TraceObjective(trace *Trace, slo SLO) Objective {
 		return model.Run(trace, model.Config{Params: p, SLO: slo})
 	}
 }
+
+// LoadTraceJSON reads a trace from its JSON encoding, validating every
+// entry (including checksums) like LoadTrace does.
+func LoadTraceJSON(r io.Reader) (*Trace, error) { return telemetry.LoadTraceJSON(r) }
+
+// Fault injection and graceful degradation.
+type (
+	// FaultPlan is a named, seeded schedule of fault events.
+	FaultPlan = fault.Plan
+	// FaultEvent is one timed fault in a plan.
+	FaultEvent = fault.Event
+	// FaultKind enumerates injectable fault classes.
+	FaultKind = fault.Kind
+	// FaultInjector answers a machine's "is this fault active now?"
+	// queries for one plan.
+	FaultInjector = fault.Injector
+	// TraceDamage reports what ApplyFaultsToTrace did to a trace.
+	TraceDamage = fault.TraceDamage
+	// BreakerConfig configures the per-job promotion-SLO circuit breaker
+	// (the paper's §5.2 disabled mode, made automatic).
+	BreakerConfig = node.BreakerConfig
+	// FaultStats aggregates fault-injection and degradation counters.
+	FaultStats = node.FaultStats
+)
+
+// Injectable fault kinds.
+const (
+	MachineCrash       = fault.MachineCrash
+	TelemetryDrop      = fault.TelemetryDrop
+	TelemetryCorrupt   = fault.TelemetryCorrupt
+	CompressorError    = fault.CompressorError
+	CompressorSlowdown = fault.CompressorSlowdown
+	PressureSpike      = fault.PressureSpike
+	ChurnBurst         = fault.ChurnBurst
+	DaemonStall        = fault.DaemonStall
+)
+
+// DefaultFaultPlan builds a plan exercising every fault class over the
+// given run duration.
+func DefaultFaultPlan(seed int64, duration time.Duration) *FaultPlan {
+	return fault.DefaultPlan(seed, duration)
+}
+
+// LoadFaultPlan reads and validates a JSON fault plan.
+func LoadFaultPlan(r io.Reader) (*FaultPlan, error) { return fault.LoadPlan(r) }
+
+// NewFaultInjector derives one machine's injector from a plan; a nil or
+// empty plan (or one with no events for the machine) yields a nil,
+// always-inert injector.
+func NewFaultInjector(p *FaultPlan, machine string) *FaultInjector {
+	return fault.NewInjector(p, machine)
+}
+
+// ApplyFaultsToTrace applies a plan's telemetry-drop and telemetry-corrupt
+// windows to an at-rest trace.
+func ApplyFaultsToTrace(p *FaultPlan, trace *Trace) TraceDamage {
+	return fault.ApplyToTrace(p, trace)
+}
+
+// Staged rollout (§5.3's multi-stage deployment with monitoring).
+type (
+	// RolloutStage is one ring of a staged deployment.
+	RolloutStage = tuner.RolloutStage
+	// RolloutReport is the outcome of a staged rollout.
+	RolloutReport = tuner.RolloutReport
+	// StageReport is one stage's health-check outcome.
+	StageReport = tuner.StageReport
+	// StageObjective evaluates candidate params on one rollout stage.
+	StageObjective = tuner.StageObjective
+)
+
+// DefaultRolloutStages mirrors the paper's canary-to-fleet deployment.
+var DefaultRolloutStages = tuner.DefaultRolloutStages
+
+// StagedRollout pushes a candidate through deployment rings with a live
+// health check per ring, rolling the fleet back to the incumbent on an SLO
+// breach mid-deployment.
+func StagedRollout(candidate, incumbent Params, obj StageObjective, stages []RolloutStage, slo SLO) (RolloutReport, error) {
+	return tuner.StagedRollout(candidate, incumbent, obj, stages, slo)
+}
+
+// TraceStageObjective builds a StageObjective that replays each ring's
+// fraction of the fleet over that stage's slice of the trace timeline.
+func TraceStageObjective(trace *Trace, cfg ModelConfig, nStages int) StageObjective {
+	return tuner.TraceStageObjective(trace, cfg, nStages)
+}
+
+// Sentinel errors for errors.Is branching.
+var (
+	// ErrOutOfMemory: a machine could not fit its jobs even after reclaim
+	// and eviction.
+	ErrOutOfMemory = node.ErrOutOfMemory
+	// ErrJobNotFound: no job with that name on the machine.
+	ErrJobNotFound = node.ErrJobNotFound
+	// ErrJobNotRunning: the operation needs a running job.
+	ErrJobNotRunning = node.ErrJobNotRunning
+	// ErrPromotionFailed: a far-memory page could not be promoted back.
+	ErrPromotionFailed = node.ErrPromotionFailed
+	// ErrPoolFull: the far-memory pool rejected a store at capacity.
+	ErrPoolFull = zswap.ErrPoolFull
+	// ErrStoreFailed: a far-memory store failed outright (e.g. an
+	// injected transient compressor error).
+	ErrStoreFailed = zswap.ErrStoreFailed
+	// ErrSLOViolated: a candidate breached the promotion-rate SLO during
+	// qualification or a rollout stage.
+	ErrSLOViolated = tuner.ErrSLOViolated
+	// ErrNoObservations: a tuning run or rollout stage had nothing to
+	// judge health by.
+	ErrNoObservations = tuner.ErrNoObservations
+)
 
 // TCO arithmetic (§6.1).
 
