@@ -191,10 +191,11 @@ func Fig5CoverageTimeline(scale Scale, seed int64) (RolloutResult, error) {
 	manualEnd := cfg.Duration * 5 / 8
 
 	// Stage A-B: the histograms exist even while zswap is off, so the
-	// hand-tuning A/B process runs on the pre-rollout slice.
-	preSlice := subTrace(trace, 0, offEnd)
+	// hand-tuning A/B process runs on the pre-rollout slice. Each slice is
+	// compiled once; every candidate evaluation is a pure replay.
+	preSlice := model.Compile(subTrace(trace, 0, offEnd))
 	heur, err := tuner.HeuristicTune(func(p core.Params) (model.FleetResult, error) {
-		return model.Run(preSlice, model.Config{Params: p, SLO: core.DefaultSLO})
+		return preSlice.Run(model.Config{Params: p, SLO: core.DefaultSLO})
 	}, tuner.DefaultHeuristicCandidates, core.DefaultSLO)
 	if err != nil {
 		return RolloutResult{}, err
@@ -202,9 +203,9 @@ func Fig5CoverageTimeline(scale Scale, seed int64) (RolloutResult, error) {
 	manual := heur.Best.Params
 
 	// Stage C-D: the autotuner trains on the manual stage's data.
-	tuneSlice := subTrace(trace, offEnd, manualEnd)
+	tuneSlice := model.Compile(subTrace(trace, offEnd, manualEnd))
 	obj := func(p core.Params) (model.FleetResult, error) {
-		return model.Run(tuneSlice, model.Config{Params: p, SLO: core.DefaultSLO})
+		return tuneSlice.Run(model.Config{Params: p, SLO: core.DefaultSLO})
 	}
 	tuned, err := tuner.Autotune(obj, tuner.Config{SLO: core.DefaultSLO, Seed: seed, Iterations: 12})
 	if err != nil {
@@ -375,8 +376,11 @@ func Fig7PromotionRateCDF(scale Scale, seed int64) (Fig7Result, error) {
 	if err != nil {
 		return Fig7Result{}, err
 	}
+	// One compile serves the heuristic baseline, the whole GP-Bandit
+	// session, and the two final rate sweeps.
+	ct := model.Compile(trace)
 	obj := func(p core.Params) (model.FleetResult, error) {
-		return model.Run(trace, model.Config{Params: p, SLO: core.DefaultSLO})
+		return ct.Run(model.Config{Params: p, SLO: core.DefaultSLO})
 	}
 	heur, err := tuner.HeuristicTune(obj, tuner.DefaultHeuristicCandidates, core.DefaultSLO)
 	if err != nil {
@@ -387,7 +391,7 @@ func Fig7PromotionRateCDF(scale Scale, seed int64) (Fig7Result, error) {
 		return Fig7Result{}, err
 	}
 	rates := func(p core.Params) ([]float64, error) {
-		res, err := model.Run(trace, model.Config{Params: p, SLO: core.DefaultSLO})
+		res, err := ct.Run(model.Config{Params: p, SLO: core.DefaultSLO})
 		if err != nil {
 			return nil, err
 		}
@@ -454,8 +458,9 @@ func H2AutotunerVsHeuristic(scale Scale, seed int64) (H2Result, error) {
 	if err != nil {
 		return H2Result{}, err
 	}
+	ct := model.Compile(trace)
 	obj := func(p core.Params) (model.FleetResult, error) {
-		return model.Run(trace, model.Config{Params: p, SLO: core.DefaultSLO})
+		return ct.Run(model.Config{Params: p, SLO: core.DefaultSLO})
 	}
 	heur, err := tuner.HeuristicTune(obj, tuner.DefaultHeuristicCandidates, core.DefaultSLO)
 	if err != nil {

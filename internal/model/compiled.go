@@ -1,0 +1,368 @@
+package model
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/histogram"
+	"sdfm/internal/stats"
+	"sdfm/internal/telemetry"
+)
+
+// CompiledTrace is a replay-optimized representation of a telemetry trace
+// (§5.3). Compiling performs, once, all the work that does not depend on
+// the (K, S) parameters under evaluation — grouping entries into per-job
+// series, sorting them by timestamp, detecting reporting gaps, and laying
+// the per-interval tail sums out in dense columns — so that a tuning
+// session evaluating dozens of candidate configurations pays the trace
+// preparation cost once instead of per evaluation.
+//
+// The per-interval best-threshold index (the §4.3 feedback signal) depends
+// on the SLO but not on the parameters; it is derived lazily on the first
+// replay for a given SLO and cached, so the common compile-once /
+// replay-many pattern of tuner.Autotune computes it exactly once.
+//
+// A CompiledTrace is immutable after Compile and safe for concurrent
+// replays.
+type CompiledTrace struct {
+	thresholds []int
+	nThresh    int
+	jobs       []compiledJob
+
+	// Lazily derived, SLO-dependent best-threshold columns (one []uint8
+	// per job, parallel to jobs). Guarded by mu; replaced wholesale when a
+	// replay asks for a different SLO than the cached one.
+	mu       sync.Mutex
+	bestSLO  core.SLO
+	bestCols [][]uint8
+	haveBest bool
+}
+
+// compiledJob is one job's interval series in columnar form. All slices
+// have length n except the flattened per-threshold columns, which have
+// length n*nThresh with interval i occupying [i*nThresh, (i+1)*nThresh).
+type compiledJob struct {
+	key telemetry.JobKey
+	n   int
+
+	tsSec       []int64   // interval-end timestamps, sorted ascending
+	intervalMin []float64 // aggregation interval lengths
+	wssF        []float64 // float64(WSSPages)
+	coldMin     []float64 // float64(ColdTails[0]): the coverage denominator
+	totalF      []float64 // float64(TotalPages)
+	promoTails  []uint64  // flattened PromoTails (kept for per-SLO best derivation)
+
+	// coldComp[i*nThresh+j] is the compressible cold page count the replay
+	// charges when operating at threshold j: uint64(float64(ColdTails[j]) *
+	// compressibleFrac), pre-truncated exactly as the reference replay does.
+	coldComp []float64
+	// rateCol[i*nThresh+j] is the normalized promotion rate at threshold j:
+	// (PromoTails[j] / IntervalMinutes) / WSSPages, zero when WSS is zero.
+	rateCol []float64
+
+	// gaps is the total inferred missing intervals (timestamp jumps larger
+	// than 1.5x the previous reporting interval) — params-independent.
+	gaps int
+}
+
+// Compile builds the replay-optimized representation of trace. The result
+// references only its own storage; the trace may be mutated afterwards.
+func Compile(trace *telemetry.Trace) *CompiledTrace {
+	series := trace.JobSeries()
+	keys := trace.Jobs()
+	nT := len(trace.Thresholds)
+
+	ct := &CompiledTrace{
+		thresholds: append([]int(nil), trace.Thresholds...),
+		nThresh:    nT,
+		jobs:       make([]compiledJob, 0, len(keys)),
+	}
+	for _, key := range keys {
+		entries := series[key]
+		n := len(entries)
+		j := compiledJob{
+			key:         key,
+			n:           n,
+			tsSec:       make([]int64, n),
+			intervalMin: make([]float64, n),
+			wssF:        make([]float64, n),
+			coldMin:     make([]float64, n),
+			totalF:      make([]float64, n),
+			promoTails:  make([]uint64, n*nT),
+			coldComp:    make([]float64, n*nT),
+			rateCol:     make([]float64, n*nT),
+		}
+		var prevTS int64 = -1
+		var prevInterval float64
+		for i, e := range entries {
+			j.tsSec[i] = e.TimestampSec
+			j.intervalMin[i] = e.IntervalMinutes
+			j.wssF[i] = float64(e.WSSPages)
+			j.coldMin[i] = float64(e.ColdTails[0])
+			j.totalF[i] = float64(e.TotalPages)
+			if prevTS >= 0 && prevInterval > 0 {
+				step := float64(e.TimestampSec-prevTS) / 60
+				if step > 1.5*prevInterval {
+					j.gaps += int(step/prevInterval+0.5) - 1
+				}
+			}
+			prevTS, prevInterval = e.TimestampSec, e.IntervalMinutes
+			frac := e.CompressibleFrac
+			if frac == 0 {
+				frac = 1
+			}
+			row := i * nT
+			for t := 0; t < nT; t++ {
+				j.promoTails[row+t] = e.PromoTails[t]
+				// Truncate through uint64 exactly like the reference replay
+				// so compiled results stay bit-identical.
+				j.coldComp[row+t] = float64(uint64(float64(e.ColdTails[t]) * frac))
+				if e.WSSPages > 0 {
+					j.rateCol[row+t] = float64(e.PromoTails[t]) / e.IntervalMinutes / float64(e.WSSPages)
+				}
+			}
+		}
+		ct.jobs = append(ct.jobs, j)
+	}
+	return ct
+}
+
+// Jobs returns the number of distinct jobs in the compiled trace.
+func (ct *CompiledTrace) Jobs() int { return len(ct.jobs) }
+
+// Intervals returns the total interval count across all jobs.
+func (ct *CompiledTrace) Intervals() int {
+	n := 0
+	for i := range ct.jobs {
+		n += ct.jobs[i].n
+	}
+	return n
+}
+
+// bestFor returns the per-job best-threshold-index columns for slo,
+// deriving and caching them on first use. The best index for an interval
+// is the smallest predefined threshold whose promotion rate met the SLO —
+// SLO-dependent but params-independent, so one derivation serves every
+// (K, S) candidate of a tuning session.
+func (ct *CompiledTrace) bestFor(slo core.SLO) [][]uint8 {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.haveBest && ct.bestSLO == slo {
+		return ct.bestCols
+	}
+	cols := make([][]uint8, len(ct.jobs))
+	nT := ct.nThresh
+	for ji := range ct.jobs {
+		j := &ct.jobs[ji]
+		col := make([]uint8, j.n)
+		for i := 0; i < j.n; i++ {
+			limit := slo.TargetRatePerMin * j.wssF[i]
+			row := i * nT
+			best := nT - 1
+			for t := 0; t < nT; t++ {
+				if float64(j.promoTails[row+t])/j.intervalMin[i] <= limit {
+					best = t
+					break
+				}
+			}
+			col[i] = uint8(best)
+		}
+		cols[ji] = col
+	}
+	ct.bestSLO = slo
+	ct.bestCols = cols
+	ct.haveBest = true
+	return cols
+}
+
+// Run replays the compiled trace under cfg. Results are bit-identical to
+// RunBaseline on the source trace and deterministic regardless of
+// cfg.Workers.
+func (ct *CompiledTrace) Run(cfg Config) (FleetResult, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+	if cfg.HistoryLen < 0 {
+		return FleetResult{}, fmt.Errorf("model: negative history length %d", cfg.HistoryLen)
+	}
+	if cfg.HistoryLen == 0 {
+		cfg.HistoryLen = DefaultHistoryLen
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ct.jobs) {
+		workers = len(ct.jobs)
+	}
+
+	best := ct.bestFor(cfg.SLO)
+	results := make([]JobResult, len(ct.jobs))
+	if workers <= 1 {
+		rep := newReplayer(ct, cfg)
+		for i := range ct.jobs {
+			results[i] = rep.replay(&ct.jobs[i], best[i])
+		}
+		return reduce(results, cfg), nil
+	}
+
+	// Fixed worker pool over job shards: each worker owns one replayer
+	// (ring buffer, counting table, rate buffer) reused across the jobs it
+	// claims from the shared index. Output position is the job index, so
+	// the result is identical no matter how jobs land on workers.
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep := newReplayer(ct, cfg)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(ct.jobs) {
+					return
+				}
+				results[i] = rep.replay(&ct.jobs[i], best[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return reduce(results, cfg), nil
+}
+
+// replayer is one worker's reusable replay state: the §4.3 controller
+// re-implemented over precompiled best-threshold indices, with the
+// K-th-percentile-of-pool lookup done by counting sort over the (at most
+// nThresh distinct) index values instead of re-sorting the history ring
+// every interval.
+type replayer struct {
+	ct     *CompiledTrace
+	cfg    Config
+	target float64 // SLO promotion-rate limit
+
+	ring   []uint8 // best-threshold history, ring buffer of HistoryLen
+	counts [256]int32
+	pos    int
+	full   bool
+	have   bool
+	last   int
+
+	rates []float64 // per-interval rate buffer, reused across jobs
+}
+
+func newReplayer(ct *CompiledTrace, cfg Config) *replayer {
+	return &replayer{
+		ct:     ct,
+		cfg:    cfg,
+		target: cfg.SLO.TargetRatePerMin,
+		ring:   make([]uint8, cfg.HistoryLen),
+	}
+}
+
+func (r *replayer) reset() {
+	if r.have {
+		for v := range r.counts {
+			r.counts[v] = 0
+		}
+	}
+	r.pos = 0
+	r.full = false
+	r.have = false
+	r.last = histogram.MaxBucket
+	r.rates = r.rates[:0]
+}
+
+// threshold mirrors core.Controller.Threshold in predefined-index space:
+// max(K-th percentile of the pool, last interval's best), MaxBucket before
+// any observation. The nearest-rank percentile is found by scanning the
+// value counts — sorted[rank] is the (rank+1)-th smallest value.
+func (r *replayer) threshold() int {
+	if !r.have {
+		return histogram.MaxBucket
+	}
+	n := r.pos
+	if r.full {
+		n = len(r.ring)
+	}
+	rank := int32(r.cfg.Params.K / 100 * float64(n-1))
+	cum := int32(0)
+	kth := 0
+	for v := 0; v < r.ct.nThresh; v++ {
+		cum += r.counts[v]
+		if cum > rank {
+			kth = v
+			break
+		}
+	}
+	if r.last > kth {
+		return r.last
+	}
+	return kth
+}
+
+func (r *replayer) observe(v uint8) {
+	if r.full {
+		r.counts[r.ring[r.pos]]--
+	}
+	r.ring[r.pos] = v
+	r.counts[v]++
+	r.pos++
+	if r.pos == len(r.ring) {
+		r.pos = 0
+		r.full = true
+	}
+	r.last = int(v)
+	r.have = true
+}
+
+func (r *replayer) replay(j *compiledJob, best []uint8) JobResult {
+	r.reset()
+	jr := JobResult{Key: j.key, Intervals: j.n, GapIntervals: j.gaps}
+	if j.n == 0 {
+		return jr
+	}
+	nT := r.ct.nThresh
+	lastIdx := nT - 1
+	enabledFrom := time.Duration(j.tsSec[0])*time.Second + r.cfg.Params.S
+
+	var sumCold, sumColdMin, sumTotal, sumRate float64
+	for i := 0; i < j.n; i++ {
+		sumColdMin += j.coldMin[i]
+		sumTotal += j.totalF[i]
+		if time.Duration(j.tsSec[i])*time.Second >= enabledFrom {
+			idx := r.threshold()
+			if idx > lastIdx {
+				idx = lastIdx
+			}
+			rate := j.rateCol[i*nT+idx]
+			jr.Enabled++
+			sumCold += j.coldComp[i*nT+idx]
+			sumRate += rate
+			if rate > r.target {
+				jr.Violations++
+			}
+			r.rates = append(r.rates, rate)
+		}
+		r.observe(best[i])
+	}
+
+	n := float64(jr.Intervals)
+	jr.MeanColdPages = sumCold / n
+	jr.MeanColdAtMinPages = sumColdMin / n
+	jr.MeanTotalPages = sumTotal / n
+	if jr.Enabled > 0 {
+		jr.MeanRate = sumRate / float64(jr.Enabled)
+		jr.P98Rate = stats.Percentile(r.rates, 98)
+	}
+	if r.cfg.CollectSamples && len(r.rates) > 0 {
+		jr.RateSamples = append([]float64(nil), r.rates...)
+	}
+	return jr
+}

@@ -1,0 +1,262 @@
+package model
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/fleet"
+	"sdfm/internal/telemetry"
+)
+
+func equivTrace(t *testing.T) *telemetry.Trace {
+	t.Helper()
+	tr, err := fleet.Generate(fleet.Config{
+		Clusters: 2, MachinesPerCluster: 3, JobsPerMachine: 4,
+		Duration: 8 * time.Hour, Seed: 42, ChurnFraction: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCompiledReplayEquivalence locks the tentpole invariant: the compiled
+// replay must return results bit-identical to the reference per-evaluation
+// path for the same trace and configuration — including per-job means,
+// percentiles, gap counts, and collected rate samples.
+func TestCompiledReplayEquivalence(t *testing.T) {
+	tr := equivTrace(t)
+	ct := Compile(tr)
+	configs := []Config{
+		{Params: core.DefaultParams, SLO: core.DefaultSLO},
+		{Params: core.Params{K: 50, S: 0}, SLO: core.DefaultSLO},
+		{Params: core.Params{K: 99.9, S: 2 * time.Hour}, SLO: core.DefaultSLO, CollectSamples: true},
+		{Params: core.Params{K: 100, S: 30 * time.Minute}, SLO: core.DefaultSLO, HistoryLen: 7},
+		// A different SLO exercises the lazy best-threshold re-derivation.
+		{Params: core.DefaultParams, SLO: core.SLO{TargetRatePerMin: 0.01, MinThreshold: core.DefaultSLO.MinThreshold}},
+	}
+	for i, cfg := range configs {
+		want, err := RunBaseline(tr, cfg)
+		if err != nil {
+			t.Fatalf("config %d: baseline: %v", i, err)
+		}
+		got, err := ct.Run(cfg)
+		if err != nil {
+			t.Fatalf("config %d: compiled: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("config %d: compiled replay diverges from baseline\nbaseline: %v\ncompiled: %v", i, want, got)
+		}
+		// The Run wrapper (compile internally) must agree too.
+		viaWrapper, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatalf("config %d: wrapper: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, viaWrapper) {
+			t.Errorf("config %d: Run wrapper diverges from baseline", i)
+		}
+	}
+}
+
+// TestCompiledReplayReuse evaluates many configurations against one
+// CompiledTrace — the tuning-session pattern — and checks each against the
+// reference path, including SLO flips that invalidate the cached
+// best-threshold columns.
+func TestCompiledReplayReuse(t *testing.T) {
+	tr := equivTrace(t)
+	ct := Compile(tr)
+	slos := []core.SLO{
+		core.DefaultSLO,
+		{TargetRatePerMin: 0.0005, MinThreshold: core.DefaultSLO.MinThreshold},
+		core.DefaultSLO, // flip back: cache must re-derive correctly
+	}
+	for _, slo := range slos {
+		for _, k := range []float64{60, 95, 99.5} {
+			cfg := Config{Params: core.Params{K: k, S: 10 * time.Minute}, SLO: slo}
+			want, err := RunBaseline(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ct.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("K=%v slo=%v: compiled replay diverges", k, slo.TargetRatePerMin)
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers asserts the replay result is identical
+// whatever the parallelism — job results land at their job's index, never
+// in completion order.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	tr := equivTrace(t)
+	ct := Compile(tr)
+	base := Config{Params: core.DefaultParams, SLO: core.DefaultSLO, CollectSamples: true}
+	cfg1 := base
+	cfg1.Workers = 1
+	want, err := ct.Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := ct.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("Workers=%d: FleetResult differs from Workers=1", workers)
+		}
+	}
+}
+
+// variableEntry is one record of a hand-built single-job series whose
+// aggregation interval may change mid-series.
+type variableEntry struct {
+	tsSec       int64
+	intervalMin float64
+}
+
+func variableTrace(t *testing.T, series []variableEntry) *telemetry.Trace {
+	t.Helper()
+	tr := telemetry.NewTrace()
+	n := len(tr.Thresholds)
+	for _, v := range series {
+		e := telemetry.Entry{
+			Key:             telemetry.JobKey{Cluster: "c", Machine: "m", Job: "j"},
+			TimestampSec:    v.tsSec,
+			IntervalMinutes: v.intervalMin,
+			WSSPages:        100,
+			TotalPages:      1000,
+			ColdTails:       make([]uint64, n),
+			PromoTails:      make([]uint64, n),
+		}
+		for i := range e.ColdTails {
+			e.ColdTails[i] = uint64(500 - 5*i)
+		}
+		if err := tr.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestGapAccountingVariableIntervals pins down gap inference when the
+// reporting interval varies across a series: missing intervals are counted
+// in units of the cadence in effect *before* the hole, and a cadence
+// change itself is charged conservatively when the jump exceeds 1.5x the
+// previous interval.
+func TestGapAccountingVariableIntervals(t *testing.T) {
+	cases := []struct {
+		name     string
+		series   []variableEntry
+		wantGaps int
+	}{
+		{
+			name: "uniform 5min, continuous",
+			series: []variableEntry{
+				{300, 5}, {600, 5}, {900, 5}, {1200, 5},
+			},
+			wantGaps: 0,
+		},
+		{
+			name: "uniform 5min, two missing",
+			series: []variableEntry{
+				{300, 5}, {600, 5}, {1500, 5}, {1800, 5},
+			},
+			wantGaps: 2,
+		},
+		{
+			name: "uniform 10min, one missing",
+			series: []variableEntry{
+				{600, 10}, {1200, 10}, {2400, 10},
+			},
+			wantGaps: 1,
+		},
+		{
+			// A hole after the cadence slowed to 10 minutes is measured in
+			// 10-minute units, not the original 5-minute ones.
+			name: "hole measured at local cadence",
+			series: []variableEntry{
+				{300, 5}, {600, 5}, {900, 5},
+				{1500, 10}, {2100, 10}, // 5->10min transition: 1 inferred gap
+				{3900, 10},             // 1800s jump at 10min cadence: 2 gaps
+				{4500, 10},
+			},
+			wantGaps: 3,
+		},
+		{
+			// Cadence doubling with no dropped data still infers one gap:
+			// from the old cadence's viewpoint one report went missing. The
+			// conservative charge keeps Completeness an underestimate.
+			name: "cadence change alone",
+			series: []variableEntry{
+				{300, 5}, {600, 5}, {1200, 10}, {1800, 10},
+			},
+			wantGaps: 1,
+		},
+		{
+			// Cadence speeding up (10 -> 5 min) never looks like a gap.
+			name: "cadence speedup",
+			series: []variableEntry{
+				{600, 10}, {1200, 10}, {1500, 5}, {1800, 5},
+			},
+			wantGaps: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := variableTrace(t, c.series)
+			for name, run := range map[string]func(*telemetry.Trace, Config) (FleetResult, error){
+				"compiled": Run,
+				"baseline": RunBaseline,
+			} {
+				fr, err := run(tr, Config{Params: core.DefaultParams, SLO: core.DefaultSLO})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if fr.GapIntervals != c.wantGaps {
+					t.Errorf("%s: GapIntervals = %d, want %d", name, fr.GapIntervals, c.wantGaps)
+				}
+				observed := len(c.series)
+				want := float64(observed) / float64(observed+c.wantGaps)
+				if diff := fr.Completeness - want; diff > 1e-12 || diff < -1e-12 {
+					t.Errorf("%s: Completeness = %v, want %v", name, fr.Completeness, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledTraceAccessors covers the small introspection surface.
+func TestCompiledTraceAccessors(t *testing.T) {
+	tr := variableTrace(t, []variableEntry{{300, 5}, {600, 5}, {900, 5}})
+	ct := Compile(tr)
+	if ct.Jobs() != 1 {
+		t.Errorf("Jobs() = %d, want 1", ct.Jobs())
+	}
+	if ct.Intervals() != 3 {
+		t.Errorf("Intervals() = %d, want 3", ct.Intervals())
+	}
+}
+
+// TestCompiledRunRejectsInvalidConfig mirrors Run's validation behavior.
+func TestCompiledRunRejectsInvalidConfig(t *testing.T) {
+	ct := Compile(variableTrace(t, []variableEntry{{300, 5}}))
+	if _, err := ct.Run(Config{Params: core.Params{K: 150}, SLO: core.DefaultSLO}); err == nil {
+		t.Error("invalid K accepted")
+	}
+	if _, err := ct.Run(Config{Params: core.DefaultParams, SLO: core.SLO{}}); err == nil {
+		t.Error("invalid SLO accepted")
+	}
+	if _, err := ct.Run(Config{Params: core.DefaultParams, SLO: core.DefaultSLO, HistoryLen: -1}); err == nil {
+		t.Error("negative history length accepted")
+	}
+}

@@ -108,8 +108,29 @@ func (r FleetResult) MeetsSLO(slo core.SLO) bool {
 	return r.P98Rate <= slo.TargetRatePerMin
 }
 
-// Run replays the trace under cfg.
+// Run replays the trace under cfg. It is the compatibility wrapper over
+// the compiled-replay pipeline: the trace is compiled internally and
+// replayed once. Callers evaluating many configurations over the same
+// trace (tuning sessions, figure sweeps) should Compile once and call
+// CompiledTrace.Run per candidate instead, which skips the per-evaluation
+// grouping/sorting/column-building work entirely.
 func Run(trace *telemetry.Trace, cfg Config) (FleetResult, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+	return Compile(trace).Run(cfg)
+}
+
+// RunBaseline is the original per-evaluation implementation of Run: it
+// re-groups and re-sorts the trace, re-derives best-threshold indices, and
+// re-runs the controller with a full history sort per interval, spawning
+// one goroutine per job behind a semaphore. It is retained as the
+// reference the compiled path must match bit-for-bit (see the equivalence
+// test) and as the baseline the replay benchmarks compare against.
+func RunBaseline(trace *telemetry.Trace, cfg Config) (FleetResult, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return FleetResult{}, err
 	}

@@ -10,22 +10,25 @@ import (
 )
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between closest ranks. It returns NaN for an empty input.
-// The input is not modified.
+// interpolation between closest ranks. NaN samples are ignored — a NaN is
+// not a rank, and letting it participate in sorting would silently shift
+// every percentile. It returns NaN when no non-NaN samples remain. The
+// input is not modified.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
 	}
-	sorted := append([]float64(nil), xs...)
+	sorted := dropNaN(xs)
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	sort.Float64s(sorted)
 	return percentileSorted(sorted, p)
 }
 
 // PercentileSorted is like Percentile but assumes xs is already sorted
-// ascending, avoiding a copy. It returns NaN for an empty input.
+// ascending and NaN-free, avoiding a copy. It returns NaN for an empty
+// input.
 func PercentileSorted(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
@@ -34,6 +37,18 @@ func PercentileSorted(xs []float64, p float64) float64 {
 		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
 	}
 	return percentileSorted(xs, p)
+}
+
+// dropNaN copies xs without its NaN elements (infinities are kept: they
+// order correctly and carry information).
+func dropNaN(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func percentileSorted(sorted []float64, p float64) float64 {
@@ -119,13 +134,13 @@ type Summary struct {
 	P98, Stdev float64
 }
 
-// Summarize computes a Summary of xs. It returns a zero Summary for an
-// empty input.
+// Summarize computes a Summary of xs. NaN samples are ignored (see
+// Percentile); it returns a zero Summary when no non-NaN samples remain.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
+	sorted := dropNaN(xs)
+	if len(sorted) == 0 {
 		return Summary{}
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	s := Summary{
 		N:      len(sorted),
@@ -209,7 +224,10 @@ func (c *CDF) Points(n int) []Point {
 type Point struct{ X, Y float64 }
 
 // Histogram bins xs into n equal-width bins over [lo, hi] and returns the
-// per-bin counts. Values outside the range are clamped into the edge bins.
+// per-bin counts. Finite values outside the range are clamped into the
+// edge bins; non-finite values are skipped — converting NaN through
+// int(...) is implementation-defined in Go and used to land NaN samples
+// silently in bin 0.
 func Histogram(xs []float64, lo, hi float64, n int) []int {
 	if n <= 0 || hi <= lo {
 		return nil
@@ -217,6 +235,9 @@ func Histogram(xs []float64, lo, hi float64, n int) []int {
 	counts := make([]int, n)
 	w := (hi - lo) / float64(n)
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
 		i := int((x - lo) / w)
 		if i < 0 {
 			i = 0

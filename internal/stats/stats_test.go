@@ -275,3 +275,50 @@ func TestPercentileSortedAgrees(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileIgnoresNaN(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{nan, 1, 2, nan, 3, 4, nan}
+	// NaN samples must neither shift ranks nor poison interpolation.
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Errorf("Percentile(50) with NaNs = %v, want 2.5", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("Percentile(100) with NaNs = %v, want 4", got)
+	}
+	if got := Percentile([]float64{nan, nan}, 50); !math.IsNaN(got) {
+		t.Errorf("Percentile of all-NaN = %v, want NaN", got)
+	}
+	// Infinities are legitimate ordered values and stay in.
+	if got := Percentile([]float64{math.Inf(1), 1, 2}, 100); !math.IsInf(got, 1) {
+		t.Errorf("Percentile(100) with +Inf = %v, want +Inf", got)
+	}
+}
+
+func TestSummarizeIgnoresNaN(t *testing.T) {
+	nan := math.NaN()
+	s := Summarize([]float64{nan, 1, 2, 3, nan})
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3", s.N)
+	}
+	if s.Median != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("summary = %+v, want median 2 min 1 max 3", s)
+	}
+	if math.IsNaN(s.Mean) {
+		t.Error("Mean poisoned by NaN input")
+	}
+	if s := Summarize([]float64{nan, nan}); s.N != 0 {
+		t.Errorf("all-NaN Summarize N = %d, want 0", s.N)
+	}
+}
+
+func TestHistogramSkipsNonFinite(t *testing.T) {
+	xs := []float64{math.NaN(), 0.5, math.Inf(1), math.Inf(-1), 1.5, math.NaN()}
+	counts := Histogram(xs, 0, 2, 2)
+	// Only the two finite samples are binned; NaN must not land in bin 0
+	// via implementation-defined float-to-int conversion, and infinities
+	// must not inflate the edge bins.
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("counts = %v, want [1 1]", counts)
+	}
+}

@@ -303,6 +303,7 @@ func validateLoaded(t *Trace) error {
 type Collector struct {
 	trace     *Trace
 	prevPromo map[JobKey][]uint64 // previous cumulative promotion tails
+	resets    int
 }
 
 // NewCollector creates a collector writing into trace.
@@ -312,18 +313,36 @@ func NewCollector(trace *Trace) *Collector {
 
 // Record exports one job interval. promoCumulative is the job's cumulative
 // promotion histogram; census the current cold-age census.
+//
+// A cumulative counter that moved backwards at any threshold means the
+// daemon restarted and its counters rebased (a machine crash produces
+// exactly this). The regression is detected across *all* indices before
+// any baseline state is touched — never mid-update, which would leave the
+// baseline half-new and silently corrupt the next interval's deltas — and
+// the collector re-baselines: the current cumulative tails are recorded as
+// the interval's deltas (they are the promotions since the restart) and
+// become the new baseline. Resets() counts these re-baselines.
 func (c *Collector) Record(key JobKey, now time.Duration, intervalMinutes float64,
 	promoCumulative, census *histogram.Histogram, wssPages uint64) error {
 
 	promoTails := TailsAt(promoCumulative, c.trace.Thresholds)
 	if prev, ok := c.prevPromo[key]; ok {
+		regressed := false
 		for i := range promoTails {
-			d := promoTails[i] - prev[i]
 			if promoTails[i] < prev[i] {
-				return fmt.Errorf("telemetry: promotion counter for %s went backwards", key)
+				regressed = true
+				break
 			}
-			prev[i] = promoTails[i]
-			promoTails[i] = d
+		}
+		if regressed {
+			c.resets++
+			copy(prev, promoTails)
+		} else {
+			for i := range promoTails {
+				d := promoTails[i] - prev[i]
+				prev[i] = promoTails[i]
+				promoTails[i] = d
+			}
 		}
 		c.prevPromo[key] = prev
 	} else {
@@ -345,6 +364,10 @@ func (c *Collector) Record(key JobKey, now time.Duration, intervalMinutes float6
 func (c *Collector) Forget(key JobKey) {
 	delete(c.prevPromo, key)
 }
+
+// Resets reports how many times a backwards-moving cumulative counter
+// forced a baseline reset (daemon restarts observed by the collector).
+func (c *Collector) Resets() int { return c.resets }
 
 // Trace returns the underlying trace.
 func (c *Collector) Trace() *Trace { return c.trace }

@@ -212,3 +212,90 @@ func TestJobKeyString(t *testing.T) {
 		t.Errorf("String = %q", k.String())
 	}
 }
+
+// TestCollectorCounterResetRebaseline is the regression test for the
+// half-updated-baseline bug: a cumulative promotion histogram that jumps
+// backwards at a *later* threshold index while earlier indices still move
+// forward used to be rejected mid-update, leaving prevPromo with a mix of
+// old and new values and silently corrupting the next interval's deltas.
+// A backwards counter now means "daemon restarted": the whole baseline is
+// re-based atomically and the current cumulative tails become the deltas.
+func TestCollectorCounterResetRebaseline(t *testing.T) {
+	tr := NewTrace()
+	c := NewCollector(tr)
+	key := JobKey{"c", "m", "j"}
+	census := histogram.New(histogram.DefaultScanPeriod)
+	census.Add(0, 10)
+
+	// Interval 1: 10 cumulative promotions at age 5. Baseline tails are 10
+	// for every threshold index covering age 5 and 0 beyond.
+	promo := histogram.New(histogram.DefaultScanPeriod)
+	promo.Add(5, 10)
+	if err := c.Record(key, 5*time.Minute, 5, promo, census, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon restart: counters rebase to zero, then 12 promotions land at
+	// age 2. The new cumulative tails are 12 at indices covering age 2 but
+	// 0 at the index for age 3 — *ahead* of the baseline at early indices,
+	// *behind* it at later ones, the exact shape that used to half-update.
+	promo = histogram.New(histogram.DefaultScanPeriod)
+	promo.Add(2, 12)
+	if err := c.Record(key, 10*time.Minute, 5, promo, census, 10); err != nil {
+		t.Fatalf("Record on counter reset: %v", err)
+	}
+	if got := c.Resets(); got != 1 {
+		t.Errorf("Resets = %d, want 1", got)
+	}
+
+	// Interval 3: 3 more promotions at age 2 (cumulative 15 since restart).
+	promo.Add(2, 3)
+	if err := c.Record(key, 15*time.Minute, 5, promo, census, 10); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("trace len = %d", tr.Len())
+	}
+
+	i2 := tr.ThresholdIndexFor(2)
+	i3 := tr.ThresholdIndexFor(3)
+	// The restart interval reports the promotions since the restart.
+	if got := tr.Entries[1].PromoTails[i2]; got != 12 {
+		t.Errorf("restart interval promos@2 = %d, want 12", got)
+	}
+	// The interval after the restart must see a clean baseline: exactly
+	// the 3 new promotions, at every index — not deltas against a mix of
+	// pre- and post-restart values.
+	if got := tr.Entries[2].PromoTails[i2]; got != 3 {
+		t.Errorf("post-restart interval promos@2 = %d, want 3", got)
+	}
+	if got := tr.Entries[2].PromoTails[i3]; got != 0 {
+		t.Errorf("post-restart interval promos@3 = %d, want 0", got)
+	}
+}
+
+// TestCollectorNoResetOnMonotonicCounters makes sure ordinary growth never
+// trips the restart heuristic.
+func TestCollectorNoResetOnMonotonicCounters(t *testing.T) {
+	tr := NewTrace()
+	c := NewCollector(tr)
+	key := JobKey{"c", "m", "j"}
+	census := histogram.New(histogram.DefaultScanPeriod)
+	census.Add(0, 10)
+	promo := histogram.New(histogram.DefaultScanPeriod)
+	for i := 0; i < 5; i++ {
+		promo.Add(4, 7)
+		if err := c.Record(key, time.Duration(i+1)*5*time.Minute, 5, promo, census, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Resets(); got != 0 {
+		t.Errorf("Resets = %d, want 0", got)
+	}
+	i4 := tr.ThresholdIndexFor(4)
+	for i := 1; i < 5; i++ {
+		if got := tr.Entries[i].PromoTails[i4]; got != 7 {
+			t.Errorf("interval %d promos = %d, want 7", i, got)
+		}
+	}
+}

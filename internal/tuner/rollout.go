@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"sdfm/internal/core"
 	"sdfm/internal/model"
@@ -135,25 +136,45 @@ func TraceStageObjective(trace *telemetry.Trace, cfg model.Config, nStages int) 
 		}
 	}
 	span := maxTS - minTS + 1
+	// Each (stage index, fraction) pair selects a params-independent slice
+	// of the trace, so its compiled form is built once and replayed for
+	// every candidate evaluated on that ring (rollout retries, qualifying
+	// several candidates against the same staging plan, tests).
+	type stageKey struct {
+		idx  int
+		frac float64
+	}
+	var mu sync.Mutex
+	compiled := make(map[stageKey]*model.CompiledTrace)
 	return func(p core.Params, stage RolloutStage, idx int) (model.FleetResult, error) {
-		lo := minTS + span*int64(idx)/int64(nStages)
-		hi := minTS + span*int64(idx+1)/int64(nStages)
-		sub := &telemetry.Trace{
-			ScanPeriodSeconds: trace.ScanPeriodSeconds,
-			Thresholds:        trace.Thresholds,
-		}
-		for _, e := range trace.Entries {
-			if e.TimestampSec < lo || e.TimestampSec >= hi {
-				continue
+		key := stageKey{idx: idx, frac: stage.Fraction}
+		mu.Lock()
+		ct, ok := compiled[key]
+		mu.Unlock()
+		if !ok {
+			lo := minTS + span*int64(idx)/int64(nStages)
+			hi := minTS + span*int64(idx+1)/int64(nStages)
+			sub := &telemetry.Trace{
+				ScanPeriodSeconds: trace.ScanPeriodSeconds,
+				Thresholds:        trace.Thresholds,
 			}
-			if jobHash(e.Key) >= stage.Fraction {
-				continue
+			for _, e := range trace.Entries {
+				if e.TimestampSec < lo || e.TimestampSec >= hi {
+					continue
+				}
+				if jobHash(e.Key) >= stage.Fraction {
+					continue
+				}
+				sub.Entries = append(sub.Entries, e)
 			}
-			sub.Entries = append(sub.Entries, e)
+			ct = model.Compile(sub)
+			mu.Lock()
+			compiled[key] = ct
+			mu.Unlock()
 		}
 		mc := cfg
 		mc.Params = p
-		return model.Run(sub, mc)
+		return ct.Run(mc)
 	}
 }
 

@@ -112,6 +112,37 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Validate reports configuration errors with enough detail to fix them.
+// Zero values are legal (they select the documented defaults); what is
+// rejected is the explicitly wrong: negative counts, which would panic or
+// degenerate the loop (a negative InitSamples used to panic slicing the
+// seed design, a negative Iterations silently ran zero GP steps), and an
+// InitSamples below 3, which would silently truncate the deliberate
+// two-corners-plus-centre seed design the GP depends on for a sane prior.
+func (c Config) Validate() error {
+	d := c
+	d.fillDefaults()
+	if err := d.Space.Validate(); err != nil {
+		return err
+	}
+	if c.InitSamples < 0 {
+		return fmt.Errorf("tuner: InitSamples %d is negative; use 0 for the default (5) or at least 3", c.InitSamples)
+	}
+	if d.InitSamples < 3 {
+		return fmt.Errorf("tuner: InitSamples %d would truncate the seed design; the GP needs the two conservative corners and the centre (>= 3)", c.InitSamples)
+	}
+	if c.Iterations < 0 {
+		return fmt.Errorf("tuner: Iterations %d is negative; use 0 for the default (15)", c.Iterations)
+	}
+	if c.Candidates < 0 {
+		return fmt.Errorf("tuner: Candidates %d is negative; use 0 for the default (512)", c.Candidates)
+	}
+	if c.NoiseVar < 0 {
+		return fmt.Errorf("tuner: NoiseVar %v is negative; observation noise must be positive (default 1e-4)", c.NoiseVar)
+	}
+	return nil
+}
+
 // Result is the autotuning outcome.
 type Result struct {
 	Best    Observation
@@ -136,10 +167,10 @@ func Score(r model.FleetResult, slo core.SLO) (float64, bool) {
 // fit-GP → maximize UCB over candidates → evaluate with the model → add
 // the observation (§5.3 steps 1–3).
 func Autotune(obj Objective, cfg Config) (Result, error) {
-	cfg.fillDefaults()
-	if err := cfg.Space.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	cfg.fillDefaults()
 	if err := cfg.SLO.Validate(); err != nil {
 		return Result{}, err
 	}

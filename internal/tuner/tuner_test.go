@@ -241,3 +241,45 @@ func TestQualifyAndDeploy(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"zero config uses defaults", Config{}, false},
+		{"explicit minimum seeds", Config{InitSamples: 3}, false},
+		{"negative InitSamples", Config{InitSamples: -1}, true},
+		{"InitSamples truncates seed design", Config{InitSamples: 2}, true},
+		{"negative Iterations", Config{Iterations: -5}, true},
+		{"negative Candidates", Config{Candidates: -1}, true},
+		{"negative NoiseVar", Config{NoiseVar: -1e-4}, true},
+		{"invalid space", Config{Space: Space{KMin: 90, KMax: 50, SMin: 0, SMax: 1}}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if (err != nil) != c.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestAutotuneRejectsDegenerateConfig locks the fix for the panic at
+// seeds[:cfg.InitSamples] on negative InitSamples and the silent zero-work
+// loop on negative Iterations: both now fail fast with a descriptive
+// error instead.
+func TestAutotuneRejectsDegenerateConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{SLO: core.DefaultSLO, InitSamples: -2},
+		{SLO: core.DefaultSLO, InitSamples: 1},
+		{SLO: core.DefaultSLO, Iterations: -3},
+		{SLO: core.DefaultSLO, Candidates: -10},
+	} {
+		if _, err := Autotune(syntheticObjective, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

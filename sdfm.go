@@ -173,6 +173,9 @@ type (
 	FleetConfig = fleet.Config
 	// ModelConfig configures a fast-model replay.
 	ModelConfig = model.Config
+	// CompiledTrace is a replay-optimized trace: compile once, replay one
+	// configuration per call with no per-evaluation trace preparation.
+	CompiledTrace = model.CompiledTrace
 	// FleetResult is the model's fleet-level output.
 	FleetResult = model.FleetResult
 	// RolloutPhase is one stage of a staged parameter rollout.
@@ -187,8 +190,16 @@ func GenerateFleetTrace(cfg FleetConfig) (*Trace, error) { return fleet.Generate
 // LoadTrace reads a trace written with Trace.Save.
 func LoadTrace(r io.Reader) (*Trace, error) { return telemetry.LoadTrace(r) }
 
-// Replay runs the fast far memory model over a trace.
+// Replay runs the fast far memory model over a trace, compiling it
+// internally. To evaluate many configurations over one trace, CompileTrace
+// once and call CompiledTrace.Run per configuration instead.
 func Replay(trace *Trace, cfg ModelConfig) (FleetResult, error) { return model.Run(trace, cfg) }
+
+// CompileTrace builds the replay-optimized form of a trace (§5.3's "fast"
+// in fast far memory model): per-job sorted columnar series with
+// precomputed gap counts and best-threshold feedback, shared by every
+// subsequent CompiledTrace.Run.
+func CompileTrace(trace *Trace) *CompiledTrace { return model.Compile(trace) }
 
 // ReplayTimeline replays a trace under a staged parameter rollout.
 func ReplayTimeline(trace *Trace, phases []RolloutPhase, cfg ModelConfig) ([]TimelinePoint, error) {
@@ -226,9 +237,12 @@ func QualifyAndDeploy(candidate, incumbent Params, holdout Objective, slo SLO) (
 }
 
 // TraceObjective builds a tuner objective that replays the given trace.
+// The trace is compiled once when the objective is built; each evaluation
+// is a pure replay, so a full tuning session costs one compile.
 func TraceObjective(trace *Trace, slo SLO) Objective {
+	ct := model.Compile(trace)
 	return func(p Params) (FleetResult, error) {
-		return model.Run(trace, model.Config{Params: p, SLO: slo})
+		return ct.Run(model.Config{Params: p, SLO: slo})
 	}
 }
 
