@@ -11,6 +11,7 @@
 package sdfm_test
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -23,7 +24,9 @@ import (
 	"sdfm/internal/model"
 	"sdfm/internal/pagedata"
 	"sdfm/internal/simtime"
+	"sdfm/internal/telemetry"
 	"sdfm/internal/thermostat"
+	"sdfm/internal/tracestore"
 	"sdfm/internal/zsmalloc"
 	"sdfm/internal/zswap"
 )
@@ -342,6 +345,58 @@ func BenchmarkAutotune(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTraceStoreIngest measures streaming ingest into the chunked
+// columnar store: encode, compress, CRC, write, per entry. Throughput is
+// reported over the encoded output bytes.
+func BenchmarkTraceStoreIngest(b *testing.B) {
+	trace := benchTrace(b)
+	var size int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := &countingWriter{}
+		if err := sdfm.WriteTraceStore(cw, trace); err != nil {
+			b.Fatal(err)
+		}
+		size = cw.n
+	}
+	b.SetBytes(size)
+	b.ReportMetric(float64(trace.Len())/b.Elapsed().Seconds()*float64(b.N), "entries/s")
+}
+
+// BenchmarkTraceStoreScan measures the out-of-core read path: CRC check,
+// decompress, columnar decode, entry validation, per chunk. Throughput is
+// over the on-disk bytes scanned.
+func BenchmarkTraceStoreScan(b *testing.B) {
+	trace := benchTrace(b)
+	var buf bytes.Buffer
+	if err := sdfm.WriteTraceStore(&buf, trace); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := tracestore.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		if err := r.Scan(func(telemetry.Entry) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != trace.Len() {
+			b.Fatalf("scanned %d entries, want %d", n, trace.Len())
+		}
+	}
+}
+
+// countingWriter discards writes, counting bytes.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
 }
 
 func BenchmarkModelReplayWeekPerJob(b *testing.B) {

@@ -8,7 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"time"
 
 	"sdfm"
@@ -18,35 +17,50 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("autotune: ")
 	var (
-		in         = flag.String("trace", "", "trace file from tracegen (empty: synthesize one)")
+		in         = flag.String("trace", "", "trace file from tracegen, any format — store, gob, or json, auto-detected (empty: synthesize one)")
 		iterations = flag.Int("iterations", 15, "GP-bandit iterations")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	var trace *sdfm.Trace
-	var err error
+	var (
+		ct      *sdfm.CompiledTrace
+		entries int
+	)
 	if *in != "" {
-		f, ferr := os.Open(*in)
-		if ferr != nil {
-			log.Fatal(ferr)
+		h, err := sdfm.OpenTrace(*in)
+		if err != nil {
+			log.Fatal(err)
 		}
-		trace, err = sdfm.LoadTrace(f)
-		f.Close()
+		// Store files compile out-of-core: chunks stream straight into
+		// the replay columns, so the trace never needs to fit in memory.
+		ct, err = h.Compile()
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries = h.Entries()
+		fmt.Printf("trace: %s (%s format), %d entries, %d jobs\n",
+			*in, h.Format(), entries, h.Jobs())
+		if sk := h.Skipped(); sk.Chunks > 0 || sk.Entries > 0 {
+			fmt.Printf("damage skipped: %d chunks, %d entries (replay sees the holes as gap intervals)\n",
+				sk.Chunks, sk.Entries)
+		}
+		fmt.Println()
+		h.Close()
 	} else {
 		fmt.Println("no -trace given; synthesizing a 24h fleet trace")
-		trace, err = sdfm.GenerateFleetTrace(sdfm.FleetConfig{
+		trace, err := sdfm.GenerateFleetTrace(sdfm.FleetConfig{
 			Clusters: 4, MachinesPerCluster: 10, JobsPerMachine: 6,
 			Duration: 24 * time.Hour, Seed: *seed,
 		})
-	}
-	if err != nil {
-		log.Fatal(err)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct = sdfm.CompileTrace(trace)
+		fmt.Printf("trace: %d entries, %d jobs\n\n", trace.Len(), len(trace.Jobs()))
 	}
 
-	obj := sdfm.TraceObjective(trace, sdfm.DefaultSLO)
-
-	fmt.Printf("trace: %d entries, %d jobs\n\n", trace.Len(), len(trace.Jobs()))
+	obj := sdfm.CompiledObjective(ct, sdfm.DefaultSLO)
 
 	heur, err := sdfm.HeuristicTune(obj, sdfm.DefaultHeuristicCandidates, sdfm.DefaultSLO)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"sdfm/internal/node"
 	"sdfm/internal/stats"
 	"sdfm/internal/telemetry"
+	"sdfm/internal/tracestore"
 	"sdfm/internal/tuner"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		planPath  = flag.String("plan", "", "fault plan JSON (default: the built-in default plan)")
 		writePlan = flag.String("writeplan", "", "write the default fault plan JSON to this path and exit")
+		saveTrace = flag.String("savetrace", "", "write the baseline and faulted telemetry as <prefix>-{baseline,faulted}.trace store files")
 	)
 	flag.Parse()
 	duration := time.Duration(*hours * float64(time.Hour))
@@ -84,6 +86,19 @@ func main() {
 	// way the plan's corruption windows would, then scrub before replay.
 	dmg := fault.ApplyToTrace(plan, faulted.trace)
 	scrubbed := faulted.trace.Scrub()
+
+	if *saveTrace != "" {
+		for _, tr := range []struct {
+			suffix string
+			trace  *telemetry.Trace
+		}{{"baseline", base.trace}, {"faulted", faulted.trace}} {
+			path := *saveTrace + "-" + tr.suffix + ".trace"
+			if err := writeStore(path, tr.trace); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d entries, store format)\n", path, tr.trace.Len())
+		}
+	}
 
 	mc := model.Config{Params: params, SLO: core.DefaultSLO}
 	baseModel, err := model.Run(base.trace, mc)
@@ -150,6 +165,19 @@ func main() {
 		fmt.Printf("rollout rolled back at %q: fleet keeps K=%.0f S=%v\n",
 			rep.RolledBackAt, rep.Chosen.K, rep.Chosen.S)
 	}
+}
+
+// writeStore saves a trace as a chunked columnar store file.
+func writeStore(path string, trace *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracestore.WriteTrace(f, trace); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // fleetRun is one cluster simulation's harvest.

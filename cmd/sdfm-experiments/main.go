@@ -17,6 +17,7 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small, medium, large")
 	seed := flag.Int64("seed", 1, "random seed")
 	only := flag.String("only", "", "run a single experiment (fig1..fig10, h1, h2, a1, a3)")
+	tracePath := flag.String("trace", "", "run the autotuning experiments against this trace file (store, gob, or json — auto-detected) instead of synthesizing a fleet")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -41,6 +42,18 @@ func main() {
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Println(r.Render())
+	}
+
+	if *tracePath != "" {
+		// A trace file replaces fleet synthesis: run the autotuning session
+		// (heuristic baseline, GP-bandit, staged rollout) against it. Store
+		// files compile out-of-core, so this works at any trace size.
+		r, err := experiments.TraceFileAutotune(*tracePath, *seed)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Println(r.Render())
+		return
 	}
 
 	run("fig1", func() (renderer, error) {

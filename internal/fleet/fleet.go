@@ -127,36 +127,52 @@ const numGroups = 48
 
 // Generate builds a telemetry trace for the configured fleet.
 func Generate(cfg Config) (*telemetry.Trace, error) {
+	trace := telemetry.NewTrace()
+	if err := GenerateTo(cfg, trace); err != nil {
+		return nil, err
+	}
+	return trace, nil
+}
+
+// GenerateTo streams the configured fleet's telemetry into sink interval
+// by interval — the out-of-core generation path. With a tracestore.Writer
+// as the sink, a warehouse-scale trace goes straight to disk chunk by
+// chunk and is never materialized as a []Entry. Entries carry the default
+// trace metadata (telemetry.NewTrace's scan period and threshold set).
+// cfg.Faults telemetry windows are applied inline, entry by entry, so the
+// streamed output is byte-identical to Generate's.
+func GenerateTo(cfg Config, sink telemetry.EntrySink) error {
 	cfg.fillDefaults()
 	if cfg.Interval <= 0 || cfg.Duration < cfg.Interval {
-		return nil, fmt.Errorf("fleet: duration %v shorter than interval %v", cfg.Duration, cfg.Interval)
+		return fmt.Errorf("fleet: duration %v shorter than interval %v", cfg.Duration, cfg.Interval)
 	}
-	trace := telemetry.NewTrace()
+	meta := telemetry.NewTrace()
 	rng := simtime.Rand(cfg.Seed, "fleet")
 
 	instances := buildInstances(cfg, rng)
-	scanPeriod := time.Duration(trace.ScanPeriodSeconds) * time.Second
-	thresholdsSec := make([]float64, len(trace.Thresholds))
-	for i, b := range trace.Thresholds {
+	scanPeriod := time.Duration(meta.ScanPeriodSeconds) * time.Second
+	thresholdsSec := make([]float64, len(meta.Thresholds))
+	for i, b := range meta.Thresholds {
 		thresholdsSec[i] = (time.Duration(b) * scanPeriod).Seconds()
 	}
 
+	filter := fault.NewTraceFilter(cfg.Faults)
 	intervalMin := cfg.Interval.Minutes()
 	for t := cfg.Interval; t <= cfg.Duration; t += cfg.Interval {
 		for _, inst := range instances {
 			if t <= inst.start || t > inst.end {
 				continue
 			}
-			e := inst.entry(t, cfg, thresholdsSec, intervalMin)
-			if err := trace.Append(e); err != nil {
-				return nil, err
+			e, keep := filter.Apply(inst.entry(t, cfg, thresholdsSec, intervalMin))
+			if !keep {
+				continue
+			}
+			if err := sink.Append(e); err != nil {
+				return err
 			}
 		}
 	}
-	if cfg.Faults != nil {
-		fault.ApplyToTrace(cfg.Faults, trace)
-	}
-	return trace, nil
+	return nil
 }
 
 func buildInstances(cfg Config, rng *rand.Rand) []*jobInstance {

@@ -71,64 +71,17 @@ type compiledJob struct {
 
 // Compile builds the replay-optimized representation of trace. The result
 // references only its own storage; the trace may be mutated afterwards.
+// It is the in-memory convenience over StreamCompiler, which compiles the
+// same form from an entry stream without ever holding the full trace.
 func Compile(trace *telemetry.Trace) *CompiledTrace {
-	series := trace.JobSeries()
-	keys := trace.Jobs()
-	nT := len(trace.Thresholds)
-
-	ct := &CompiledTrace{
-		thresholds: append([]int(nil), trace.Thresholds...),
-		nThresh:    nT,
-		jobs:       make([]compiledJob, 0, len(keys)),
-	}
-	for _, key := range keys {
-		entries := series[key]
-		n := len(entries)
-		j := compiledJob{
-			key:         key,
-			n:           n,
-			tsSec:       make([]int64, n),
-			intervalMin: make([]float64, n),
-			wssF:        make([]float64, n),
-			coldMin:     make([]float64, n),
-			totalF:      make([]float64, n),
-			promoTails:  make([]uint64, n*nT),
-			coldComp:    make([]float64, n*nT),
-			rateCol:     make([]float64, n*nT),
+	sc := NewStreamCompiler(trace.Thresholds)
+	for _, e := range trace.Entries {
+		// Entries in a validated trace always match the threshold set.
+		if err := sc.Add(e); err != nil {
+			panic(err)
 		}
-		var prevTS int64 = -1
-		var prevInterval float64
-		for i, e := range entries {
-			j.tsSec[i] = e.TimestampSec
-			j.intervalMin[i] = e.IntervalMinutes
-			j.wssF[i] = float64(e.WSSPages)
-			j.coldMin[i] = float64(e.ColdTails[0])
-			j.totalF[i] = float64(e.TotalPages)
-			if prevTS >= 0 && prevInterval > 0 {
-				step := float64(e.TimestampSec-prevTS) / 60
-				if step > 1.5*prevInterval {
-					j.gaps += int(step/prevInterval+0.5) - 1
-				}
-			}
-			prevTS, prevInterval = e.TimestampSec, e.IntervalMinutes
-			frac := e.CompressibleFrac
-			if frac == 0 {
-				frac = 1
-			}
-			row := i * nT
-			for t := 0; t < nT; t++ {
-				j.promoTails[row+t] = e.PromoTails[t]
-				// Truncate through uint64 exactly like the reference replay
-				// so compiled results stay bit-identical.
-				j.coldComp[row+t] = float64(uint64(float64(e.ColdTails[t]) * frac))
-				if e.WSSPages > 0 {
-					j.rateCol[row+t] = float64(e.PromoTails[t]) / e.IntervalMinutes / float64(e.WSSPages)
-				}
-			}
-		}
-		ct.jobs = append(ct.jobs, j)
 	}
-	return ct
+	return sc.Finish()
 }
 
 // Jobs returns the number of distinct jobs in the compiled trace.

@@ -12,9 +12,11 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -243,16 +245,47 @@ func (t *Trace) ThresholdIndexFor(bucket int) int {
 	return len(t.Thresholds) - 1
 }
 
-// Save encodes the trace with gob.
+// gobMagic prefixes every gob trace written by Save since the format was
+// versioned; the byte after it is the version. Streams without the magic
+// are decoded as version-0 legacy traces for backward compatibility.
+const gobMagic = "SDFMGOB"
+
+// GobVersion is the gob stream version Save writes.
+const GobVersion = 1
+
+// ErrUnsupportedVersion is wrapped by LoadTrace when a trace carries a
+// format version this build does not understand; branch on it with
+// errors.Is instead of parsing a raw gob decode failure.
+var ErrUnsupportedVersion = errors.New("telemetry: unsupported trace format version")
+
+// Save encodes the trace with gob behind a magic/version header, so
+// future layout changes fail loading with a typed version error instead
+// of a gob decode panic deep in the stream.
 func (t *Trace) Save(w io.Writer) error {
+	hdr := append([]byte(gobMagic), GobVersion)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("telemetry: writing trace header: %w", err)
+	}
 	return gob.NewEncoder(w).Encode(t)
 }
 
-// LoadTrace decodes a trace written by Save, rejecting malformed or
-// corrupted entries with a descriptive error.
+// LoadTrace decodes a trace written by Save — current versioned streams
+// and legacy headerless ones — rejecting unknown versions with an error
+// wrapping ErrUnsupportedVersion, and malformed or corrupted entries
+// with a descriptive error.
 func LoadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(gobMagic) + 1)
+	if err == nil && string(head[:len(gobMagic)]) == gobMagic {
+		if v := head[len(gobMagic)]; v != GobVersion {
+			return nil, fmt.Errorf("%w: trace is version %d, this build reads %d", ErrUnsupportedVersion, v, GobVersion)
+		}
+		if _, err := br.Discard(len(gobMagic) + 1); err != nil {
+			return nil, fmt.Errorf("telemetry: decoding trace: %w", err)
+		}
+	}
 	var t Trace
-	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+	if err := gob.NewDecoder(br).Decode(&t); err != nil {
 		return nil, fmt.Errorf("telemetry: decoding trace: %w", err)
 	}
 	if err := validateLoaded(&t); err != nil {
@@ -297,18 +330,41 @@ func validateLoaded(t *Trace) error {
 	return nil
 }
 
+// EntrySink receives finished interval entries. *Trace is the in-memory
+// sink; tracestore.Writer is the streaming on-disk one, which lets a
+// collector export a fleet run to a file as intervals close without the
+// trace ever being fully materialized.
+type EntrySink interface {
+	Append(e Entry) error
+}
+
 // Collector accumulates per-job interval deltas for export. The node
 // agent feeds it cumulative promotion histograms; the collector converts
-// them to interval tails.
+// them to interval tails and appends each closed interval to its sink.
 type Collector struct {
-	trace     *Trace
-	prevPromo map[JobKey][]uint64 // previous cumulative promotion tails
-	resets    int
+	sink       EntrySink
+	thresholds []int
+	trace      *Trace              // non-nil only for in-memory collectors
+	prevPromo  map[JobKey][]uint64 // previous cumulative promotion tails
+	resets     int
 }
 
 // NewCollector creates a collector writing into trace.
 func NewCollector(trace *Trace) *Collector {
-	return &Collector{trace: trace, prevPromo: make(map[JobKey][]uint64)}
+	c := NewStreamCollector(trace, trace.Thresholds)
+	c.trace = trace
+	return c
+}
+
+// NewStreamCollector creates a collector exporting to an arbitrary sink
+// — streaming ingest with no full-trace buffering. thresholds is the
+// predefined cold-age threshold set the sink's trace was created with.
+func NewStreamCollector(sink EntrySink, thresholds []int) *Collector {
+	return &Collector{
+		sink:       sink,
+		thresholds: append([]int(nil), thresholds...),
+		prevPromo:  make(map[JobKey][]uint64),
+	}
 }
 
 // Record exports one job interval. promoCumulative is the job's cumulative
@@ -325,7 +381,7 @@ func NewCollector(trace *Trace) *Collector {
 func (c *Collector) Record(key JobKey, now time.Duration, intervalMinutes float64,
 	promoCumulative, census *histogram.Histogram, wssPages uint64) error {
 
-	promoTails := TailsAt(promoCumulative, c.trace.Thresholds)
+	promoTails := TailsAt(promoCumulative, c.thresholds)
 	if prev, ok := c.prevPromo[key]; ok {
 		regressed := false
 		for i := range promoTails {
@@ -354,10 +410,10 @@ func (c *Collector) Record(key JobKey, now time.Duration, intervalMinutes float6
 		IntervalMinutes: intervalMinutes,
 		WSSPages:        wssPages,
 		TotalPages:      census.Total(),
-		ColdTails:       TailsAt(census, c.trace.Thresholds),
+		ColdTails:       TailsAt(census, c.thresholds),
 		PromoTails:      promoTails,
 	}
-	return c.trace.Append(e)
+	return c.sink.Append(e)
 }
 
 // Forget drops interval state for a job that has exited.
@@ -369,5 +425,6 @@ func (c *Collector) Forget(key JobKey) {
 // forced a baseline reset (daemon restarts observed by the collector).
 func (c *Collector) Resets() int { return c.resets }
 
-// Trace returns the underlying trace.
+// Trace returns the underlying trace for in-memory collectors, nil for
+// stream collectors (their entries are already at the sink).
 func (c *Collector) Trace() *Trace { return c.trace }

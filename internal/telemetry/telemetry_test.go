@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -147,6 +148,53 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadTraceRejectsGarbage(t *testing.T) {
 	if _, err := LoadTrace(bytes.NewReader([]byte("not a gob"))); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveWritesVersionHeader(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(validEntry(JobKey{"c", "m", "a"}, 300))
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if string(b[:7]) != "SDFMGOB" || b[7] != GobVersion {
+		t.Fatalf("saved stream starts %q %d, want magic + version %d", b[:7], b[7], GobVersion)
+	}
+}
+
+func TestLoadTraceRejectsUnknownVersion(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(validEntry(JobKey{"c", "m", "a"}, 300))
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[7] = GobVersion + 1
+	_, err := LoadTrace(bytes.NewReader(b))
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("future version error = %v, want ErrUnsupportedVersion", err)
+	}
+}
+
+// TestLoadTraceLegacyHeaderless keeps traces saved before the format got
+// its version header loadable: a bare gob stream must still decode.
+func TestLoadTraceLegacyHeaderless(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(validEntry(JobKey{"c", "m", "a"}, 300))
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	legacy := buf.Bytes()[8:] // strip magic + version: the pre-header encoding
+	got, err := LoadTrace(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy headerless stream rejected: %v", err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("legacy load got %d entries, want 1", got.Len())
 	}
 }
 

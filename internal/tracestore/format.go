@@ -1,0 +1,618 @@
+// Package tracestore implements the chunked columnar on-disk trace format
+// and storage engine for fleet telemetry: a versioned binary layout that
+// lets traces be written as the fleet runs (streaming ingest, no
+// full-trace buffering) and replayed out-of-core, so the fast far memory
+// model and the autotuner can work on traces larger than RAM.
+//
+// # On-disk layout (version 1)
+//
+//	header  | magic "SDFMTS", version, scan period, threshold set, CRC
+//	chunk*  | "SFCK", flags, entry count, raw/stored lengths,
+//	        | [minTS, maxTS], CRC over header+payload, payload
+//	footer  | job directory + per-chunk index: offset, length, entry
+//	        | count, time range, job set
+//	tail    | footer length, footer CRC, magic "SDFMTSIX"
+//
+// Each chunk payload is self-contained: a chunk-local job directory
+// followed by columnar per-entry data (job index, delta-coded timestamps,
+// varint tail-sum deltas, raw float columns), compressed with the
+// repo's LZ77 compressor unless that would expand it. Every chunk carries
+// a CRC32 over its header and payload; readers validate it before
+// decoding, skip chunks that fail (or fail to decode), and account the
+// skipped time ranges so replay degrades to gap-aware results instead of
+// dying. The footer index maps (job, time range) to chunk offsets for
+// pruned range scans; a missing or corrupt footer degrades to a
+// sequential chunk walk with magic-byte resynchronization.
+package tracestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"sdfm/internal/compress"
+	"sdfm/internal/telemetry"
+)
+
+// Format identity. The version is part of the 8 leading bytes, so readers
+// reject future layouts before touching any chunk.
+const (
+	headerMagic = "SDFMTS"
+	tailMagic   = "SDFMTSIX"
+	chunkMagic  = "SFCK"
+
+	// Version is the on-disk layout version this package writes.
+	Version = 1
+)
+
+const (
+	chunkHeaderSize = 4 + 1 + 4 + 4 + 4 + 8 + 8 + 4 // magic..crc
+	tailSize        = 4 + 4 + 8                     // footerLen, footerCRC, tailMagic
+
+	flagCompressed = 1 << 0
+
+	// maxChunkBytes bounds any single chunk's raw or stored payload; a
+	// header claiming more is treated as corrupt rather than allocated.
+	maxChunkBytes = 1 << 30
+	// minEntryBytes is a safe lower bound on one encoded entry, used to
+	// reject entry counts that could not fit the claimed payload.
+	minEntryBytes = 24
+)
+
+// DefaultChunkEntries is the writer's default entries-per-chunk. At the
+// default threshold set one chunk is a few hundred KiB raw, small enough
+// to bound reader memory and large enough to amortize the chunk header
+// and compress well.
+const DefaultChunkEntries = 4096
+
+// ErrCorrupt is returned for damage the reader cannot work around (a
+// header or footer that fails validation with no recovery path). Chunk-
+// level damage is not an error: corrupt chunks are skipped and reported
+// via Skipped.
+var ErrCorrupt = errors.New("tracestore: corrupt file")
+
+// ErrUnsupportedVersion is wrapped by Open and NewReader when the file's
+// layout version is newer than this package understands.
+var ErrUnsupportedVersion = errors.New("tracestore: unsupported format version")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta is the trace-wide metadata carried in the file header, mirroring
+// the corresponding telemetry.Trace fields.
+type Meta struct {
+	// ScanPeriodSeconds is the cold-age quantum underlying the thresholds.
+	ScanPeriodSeconds int64
+	// Thresholds is the predefined cold-age threshold set, in scan periods.
+	Thresholds []int
+}
+
+// MetaOf extracts the storable metadata of a trace.
+func MetaOf(t *telemetry.Trace) Meta {
+	return Meta{
+		ScanPeriodSeconds: t.ScanPeriodSeconds,
+		Thresholds:        append([]int(nil), t.Thresholds...),
+	}
+}
+
+// Validate checks the metadata the same way telemetry validates a loaded
+// trace.
+func (m Meta) Validate() error {
+	if m.ScanPeriodSeconds <= 0 {
+		return fmt.Errorf("tracestore: non-positive scan period %d", m.ScanPeriodSeconds)
+	}
+	if len(m.Thresholds) == 0 {
+		return errors.New("tracestore: empty threshold set")
+	}
+	if len(m.Thresholds) > 255 {
+		return fmt.Errorf("tracestore: %d thresholds exceed the format limit of 255", len(m.Thresholds))
+	}
+	for i, t := range m.Thresholds {
+		if t < 0 || t > math.MaxUint8 {
+			return fmt.Errorf("tracestore: threshold %d out of the 8-bit age space", t)
+		}
+		if i > 0 && t <= m.Thresholds[i-1] {
+			return fmt.Errorf("tracestore: thresholds not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// encodeHeader renders the file header.
+func encodeHeader(m Meta) []byte {
+	buf := make([]byte, 0, 6+2+8+2+4*len(m.Thresholds)+4)
+	buf = append(buf, headerMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ScanPeriodSeconds))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Thresholds)))
+	for _, t := range m.Thresholds {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeHeader parses and validates a file header, returning the metadata
+// and the header's total length.
+func decodeHeader(buf []byte) (Meta, int, error) {
+	if len(buf) < 6+2 || string(buf[:6]) != headerMagic {
+		return Meta{}, 0, fmt.Errorf("%w: bad header magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(buf[6:]); v != Version {
+		return Meta{}, 0, fmt.Errorf("%w: file is version %d, reader understands %d", ErrUnsupportedVersion, v, Version)
+	}
+	if len(buf) < 6+2+8+2 {
+		return Meta{}, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	m := Meta{ScanPeriodSeconds: int64(binary.LittleEndian.Uint64(buf[8:]))}
+	nT := int(binary.LittleEndian.Uint16(buf[16:]))
+	end := 18 + 4*nT
+	if len(buf) < end+4 {
+		return Meta{}, 0, fmt.Errorf("%w: truncated header threshold set", ErrCorrupt)
+	}
+	for i := 0; i < nT; i++ {
+		m.Thresholds = append(m.Thresholds, int(binary.LittleEndian.Uint32(buf[18+4*i:])))
+	}
+	if got, want := crc32.Checksum(buf[:end], castagnoli), binary.LittleEndian.Uint32(buf[end:]); got != want {
+		return Meta{}, 0, fmt.Errorf("%w: header CRC %#x, content digests to %#x", ErrCorrupt, want, got)
+	}
+	if err := m.Validate(); err != nil {
+		return Meta{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return m, end + 4, nil
+}
+
+// chunkInfo is one chunk's entry in the footer index (and, redundantly,
+// in its own header — the copy that survives decides).
+type chunkInfo struct {
+	Offset     int64 // file offset of the chunk header
+	StoredLen  int   // payload bytes on disk (excluding the fixed header)
+	RawLen     int   // payload bytes after decompression
+	Entries    int
+	MinTS      int64
+	MaxTS      int64
+	Compressed bool
+	Jobs       []int // file-directory job indices present in the chunk
+}
+
+// encodeChunkHeader renders the fixed chunk header with its CRC field
+// zeroed; the caller patches the CRC after digesting header+payload.
+func encodeChunkHeader(ci chunkInfo) []byte {
+	buf := make([]byte, 0, chunkHeaderSize)
+	buf = append(buf, chunkMagic...)
+	var flags byte
+	if ci.Compressed {
+		flags |= flagCompressed
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ci.Entries))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ci.RawLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ci.StoredLen))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ci.MinTS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ci.MaxTS))
+	return binary.LittleEndian.AppendUint32(buf, 0) // CRC, patched later
+}
+
+// decodeChunkHeader parses the fixed chunk header, performing only the
+// structural sanity checks that bound allocations; the CRC over
+// header+payload is verified by the caller once the payload is read.
+func decodeChunkHeader(buf []byte) (chunkInfo, uint32, error) {
+	if len(buf) < chunkHeaderSize {
+		return chunkInfo{}, 0, fmt.Errorf("%w: truncated chunk header", ErrCorrupt)
+	}
+	if string(buf[:4]) != chunkMagic {
+		return chunkInfo{}, 0, fmt.Errorf("%w: bad chunk magic", ErrCorrupt)
+	}
+	ci := chunkInfo{
+		Compressed: buf[4]&flagCompressed != 0,
+		Entries:    int(binary.LittleEndian.Uint32(buf[5:])),
+		RawLen:     int(binary.LittleEndian.Uint32(buf[9:])),
+		StoredLen:  int(binary.LittleEndian.Uint32(buf[13:])),
+		MinTS:      int64(binary.LittleEndian.Uint64(buf[17:])),
+		MaxTS:      int64(binary.LittleEndian.Uint64(buf[25:])),
+	}
+	crc := binary.LittleEndian.Uint32(buf[33:])
+	if ci.RawLen < 0 || ci.RawLen > maxChunkBytes || ci.StoredLen < 0 || ci.StoredLen > maxChunkBytes {
+		return chunkInfo{}, 0, fmt.Errorf("%w: chunk claims %d/%d payload bytes", ErrCorrupt, ci.StoredLen, ci.RawLen)
+	}
+	if !ci.Compressed && ci.RawLen != ci.StoredLen {
+		return chunkInfo{}, 0, fmt.Errorf("%w: uncompressed chunk with stored %d != raw %d", ErrCorrupt, ci.StoredLen, ci.RawLen)
+	}
+	if ci.Entries <= 0 || ci.Entries*minEntryBytes > ci.RawLen {
+		return chunkInfo{}, 0, fmt.Errorf("%w: chunk claims %d entries in %d bytes", ErrCorrupt, ci.Entries, ci.RawLen)
+	}
+	return ci, crc, nil
+}
+
+// chunkCRC digests a chunk header (with a zeroed CRC field) and payload.
+func chunkCRC(header, payload []byte) uint32 {
+	crc := crc32.Checksum(header[:chunkHeaderSize-4], castagnoli)
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// --- chunk payload (columnar entry batch) ---
+
+// encodeChunkPayload renders entries as a self-contained columnar batch:
+// a chunk-local job directory, then one column per field. Tail sums are
+// stored as a leading value plus successive decrements (they are monotone
+// non-increasing by construction), which the varint coder shrinks well.
+func encodeChunkPayload(dst []byte, entries []telemetry.Entry, nThresh int) []byte {
+	localIdx := make(map[telemetry.JobKey]int)
+	var localJobs []telemetry.JobKey
+	for _, e := range entries {
+		if _, ok := localIdx[e.Key]; !ok {
+			localIdx[e.Key] = len(localJobs)
+			localJobs = append(localJobs, e.Key)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(localJobs)))
+	for _, k := range localJobs {
+		dst = appendString(dst, k.Cluster)
+		dst = appendString(dst, k.Machine)
+		dst = appendString(dst, k.Job)
+	}
+	for _, e := range entries { // job index column
+		dst = binary.AppendUvarint(dst, uint64(localIdx[e.Key]))
+	}
+	prev := int64(0) // timestamp column, delta-coded
+	for i, e := range entries {
+		if i == 0 {
+			prev = e.TimestampSec
+			dst = binary.AppendVarint(dst, e.TimestampSec)
+			continue
+		}
+		dst = binary.AppendVarint(dst, e.TimestampSec-prev)
+		prev = e.TimestampSec
+	}
+	for _, e := range entries {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.IntervalMinutes))
+	}
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, e.WSSPages)
+	}
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, e.TotalPages)
+	}
+	dst = appendTailColumn(dst, entries, nThresh, func(e *telemetry.Entry) []uint64 { return e.ColdTails })
+	dst = appendTailColumn(dst, entries, nThresh, func(e *telemetry.Entry) []uint64 { return e.PromoTails })
+	for _, e := range entries {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.CompressibleFrac))
+	}
+	for _, e := range entries {
+		dst = binary.LittleEndian.AppendUint64(dst, e.Checksum)
+	}
+	return dst
+}
+
+func appendTailColumn(dst []byte, entries []telemetry.Entry, nThresh int, tails func(*telemetry.Entry) []uint64) []byte {
+	for i := range entries {
+		ts := tails(&entries[i])
+		for j := 0; j < nThresh; j++ {
+			if j == 0 {
+				dst = binary.AppendUvarint(dst, ts[0])
+			} else {
+				dst = binary.AppendUvarint(dst, ts[j-1]-ts[j])
+			}
+		}
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// payloadCursor is a bounds-checked reader over a raw chunk payload. The
+// decoder must survive arbitrary bytes (it is fuzzed), so every read goes
+// through it and reports truncation as an error, never a panic.
+type payloadCursor struct {
+	buf []byte
+	pos int
+}
+
+var errTruncated = fmt.Errorf("%w: truncated chunk payload", ErrCorrupt)
+
+func (c *payloadCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *payloadCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.buf[c.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *payloadCursor) uint64() (uint64, error) {
+	if c.pos+8 > len(c.buf) {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint64(c.buf[c.pos:])
+	c.pos += 8
+	return v, nil
+}
+
+func (c *payloadCursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(c.buf)-c.pos) {
+		return "", errTruncated
+	}
+	s := string(c.buf[c.pos : c.pos+int(n)])
+	c.pos += int(n)
+	return s, nil
+}
+
+// decodeChunkPayload decodes a raw (decompressed) chunk payload into
+// entries. It never panics on malformed input; any structural damage
+// returns an error wrapping ErrCorrupt. Entry-content validation
+// (monotonicity, checksums) is the caller's concern.
+func decodeChunkPayload(raw []byte, entryCount, nThresh int) ([]telemetry.Entry, error) {
+	if entryCount <= 0 || entryCount*minEntryBytes > len(raw) {
+		return nil, fmt.Errorf("%w: %d entries cannot fit %d payload bytes", ErrCorrupt, entryCount, len(raw))
+	}
+	c := &payloadCursor{buf: raw}
+	nJobs, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nJobs == 0 || nJobs > uint64(entryCount) {
+		return nil, fmt.Errorf("%w: chunk directory claims %d jobs for %d entries", ErrCorrupt, nJobs, entryCount)
+	}
+	jobs := make([]telemetry.JobKey, nJobs)
+	for i := range jobs {
+		if jobs[i].Cluster, err = c.str(); err != nil {
+			return nil, err
+		}
+		if jobs[i].Machine, err = c.str(); err != nil {
+			return nil, err
+		}
+		if jobs[i].Job, err = c.str(); err != nil {
+			return nil, err
+		}
+	}
+	entries := make([]telemetry.Entry, entryCount)
+	for i := range entries {
+		idx, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if idx >= nJobs {
+			return nil, fmt.Errorf("%w: job index %d out of chunk directory", ErrCorrupt, idx)
+		}
+		entries[i].Key = jobs[idx]
+	}
+	ts := int64(0)
+	for i := range entries {
+		d, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			ts = d
+		} else {
+			ts += d
+		}
+		entries[i].TimestampSec = ts
+	}
+	for i := range entries {
+		v, err := c.uint64()
+		if err != nil {
+			return nil, err
+		}
+		entries[i].IntervalMinutes = math.Float64frombits(v)
+	}
+	for i := range entries {
+		if entries[i].WSSPages, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range entries {
+		if entries[i].TotalPages, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	// Both tail columns for all entries share one backing array.
+	tails := make([]uint64, 2*entryCount*nThresh)
+	for i := range entries {
+		col := tails[2*i*nThresh : (2*i+1)*nThresh]
+		if err := readTailColumn(c, col); err != nil {
+			return nil, err
+		}
+		entries[i].ColdTails = col
+	}
+	for i := range entries {
+		col := tails[(2*i+1)*nThresh : (2*i+2)*nThresh]
+		if err := readTailColumn(c, col); err != nil {
+			return nil, err
+		}
+		entries[i].PromoTails = col
+	}
+	for i := range entries {
+		v, err := c.uint64()
+		if err != nil {
+			return nil, err
+		}
+		entries[i].CompressibleFrac = math.Float64frombits(v)
+	}
+	for i := range entries {
+		if entries[i].Checksum, err = c.uint64(); err != nil {
+			return nil, err
+		}
+	}
+	if c.pos != len(raw) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after chunk payload", ErrCorrupt, len(raw)-c.pos)
+	}
+	return entries, nil
+}
+
+func readTailColumn(c *payloadCursor, col []uint64) error {
+	for j := range col {
+		d, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if j == 0 {
+			col[0] = d
+		} else {
+			if d > col[j-1] {
+				return fmt.Errorf("%w: tail decrement underflows", ErrCorrupt)
+			}
+			col[j] = col[j-1] - d
+		}
+	}
+	return nil
+}
+
+// compressPayload compresses raw unless that would expand it, returning
+// the stored bytes and whether they are compressed.
+func compressPayload(raw []byte) ([]byte, bool) {
+	comp := compress.Compress(make([]byte, 0, compress.CompressBound(len(raw))), raw)
+	if len(comp) >= len(raw) {
+		return raw, false
+	}
+	return comp, true
+}
+
+// --- footer ---
+
+// footer is the file-level index: the job directory (in first-seen
+// order) and one index record per chunk.
+type footer struct {
+	Jobs   []telemetry.JobKey
+	Chunks []chunkInfo
+}
+
+func encodeFooter(f footer) []byte {
+	var body []byte
+	body = binary.AppendUvarint(body, uint64(len(f.Jobs)))
+	for _, k := range f.Jobs {
+		body = appendString(body, k.Cluster)
+		body = appendString(body, k.Machine)
+		body = appendString(body, k.Job)
+	}
+	body = binary.AppendUvarint(body, uint64(len(f.Chunks)))
+	for _, ci := range f.Chunks {
+		var flags byte
+		if ci.Compressed {
+			flags |= flagCompressed
+		}
+		body = append(body, flags)
+		body = binary.AppendUvarint(body, uint64(ci.Offset))
+		body = binary.AppendUvarint(body, uint64(ci.StoredLen))
+		body = binary.AppendUvarint(body, uint64(ci.RawLen))
+		body = binary.AppendUvarint(body, uint64(ci.Entries))
+		body = binary.AppendVarint(body, ci.MinTS)
+		body = binary.AppendVarint(body, ci.MaxTS)
+		body = binary.AppendUvarint(body, uint64(len(ci.Jobs)))
+		prev := 0
+		for _, j := range ci.Jobs { // ascending, delta-coded
+			body = binary.AppendUvarint(body, uint64(j-prev))
+			prev = j
+		}
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(body)))
+	body = binary.LittleEndian.AppendUint32(body, crc32.Checksum(body[:len(body)-4], castagnoli))
+	return append(body, tailMagic...)
+}
+
+// decodeFooter parses a footer body (the bytes before the fixed tail).
+func decodeFooter(body []byte) (footer, error) {
+	c := &payloadCursor{buf: body}
+	var f footer
+	nJobs, err := c.uvarint()
+	if err != nil {
+		return f, err
+	}
+	if nJobs > uint64(len(body)) {
+		return f, fmt.Errorf("%w: footer claims %d jobs", ErrCorrupt, nJobs)
+	}
+	f.Jobs = make([]telemetry.JobKey, nJobs)
+	for i := range f.Jobs {
+		if f.Jobs[i].Cluster, err = c.str(); err != nil {
+			return f, err
+		}
+		if f.Jobs[i].Machine, err = c.str(); err != nil {
+			return f, err
+		}
+		if f.Jobs[i].Job, err = c.str(); err != nil {
+			return f, err
+		}
+	}
+	nChunks, err := c.uvarint()
+	if err != nil {
+		return f, err
+	}
+	if nChunks > uint64(len(body)) {
+		return f, fmt.Errorf("%w: footer claims %d chunks", ErrCorrupt, nChunks)
+	}
+	f.Chunks = make([]chunkInfo, nChunks)
+	for i := range f.Chunks {
+		ci := &f.Chunks[i]
+		if c.pos >= len(body) {
+			return f, errTruncated
+		}
+		ci.Compressed = body[c.pos]&flagCompressed != 0
+		c.pos++
+		off, err := c.uvarint()
+		if err != nil {
+			return f, err
+		}
+		ci.Offset = int64(off)
+		sl, err := c.uvarint()
+		if err != nil {
+			return f, err
+		}
+		ci.StoredLen = int(sl)
+		rl, err := c.uvarint()
+		if err != nil {
+			return f, err
+		}
+		ci.RawLen = int(rl)
+		en, err := c.uvarint()
+		if err != nil {
+			return f, err
+		}
+		ci.Entries = int(en)
+		if ci.MinTS, err = c.varint(); err != nil {
+			return f, err
+		}
+		if ci.MaxTS, err = c.varint(); err != nil {
+			return f, err
+		}
+		nj, err := c.uvarint()
+		if err != nil {
+			return f, err
+		}
+		if nj > nJobs {
+			return f, fmt.Errorf("%w: chunk %d references %d jobs, directory has %d", ErrCorrupt, i, nj, nJobs)
+		}
+		prev := 0
+		ci.Jobs = make([]int, nj)
+		for j := range ci.Jobs {
+			d, err := c.uvarint()
+			if err != nil {
+				return f, err
+			}
+			prev += int(d)
+			if prev >= int(nJobs) {
+				return f, fmt.Errorf("%w: chunk %d job index %d out of directory", ErrCorrupt, i, prev)
+			}
+			ci.Jobs[j] = prev
+		}
+	}
+	if c.pos != len(body) {
+		return f, fmt.Errorf("%w: %d trailing footer bytes", ErrCorrupt, len(body)-c.pos)
+	}
+	return f, nil
+}

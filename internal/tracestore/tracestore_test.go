@@ -1,0 +1,539 @@
+package tracestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/fault"
+	"sdfm/internal/fleet"
+	"sdfm/internal/histogram"
+	"sdfm/internal/model"
+	"sdfm/internal/telemetry"
+)
+
+// testTrace synthesizes a small multi-job fleet trace.
+func testTrace(t testing.TB, hours float64) *telemetry.Trace {
+	t.Helper()
+	tr, err := fleet.Generate(fleet.Config{
+		Clusters: 2, MachinesPerCluster: 3, JobsPerMachine: 2,
+		Duration: time.Duration(hours * float64(time.Hour)), Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// writeStoreFile writes tr as a store file under t.TempDir.
+func writeStoreFile(t testing.TB, tr *telemetry.Trace, opts ...WriterOption) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.store")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(f, tr, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := testTrace(t, 6)
+	// Small chunks so the file has many of them.
+	path := writeStoreFile(t, tr, WithChunkEntries(100))
+
+	h, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Format() != FormatStore {
+		t.Fatalf("format = %v, want store", h.Format())
+	}
+	if h.Entries() != tr.Len() {
+		t.Fatalf("entries = %d, want %d", h.Entries(), tr.Len())
+	}
+	if h.Jobs() != len(tr.Jobs()) {
+		t.Fatalf("jobs = %d, want %d", h.Jobs(), len(tr.Jobs()))
+	}
+	got, err := h.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ScanPeriodSeconds != tr.ScanPeriodSeconds || !reflect.DeepEqual(got.Thresholds, tr.Thresholds) {
+		t.Fatal("metadata did not round-trip")
+	}
+	if len(got.Entries) != len(tr.Entries) {
+		t.Fatalf("read %d entries, wrote %d", len(got.Entries), len(tr.Entries))
+	}
+	for i := range tr.Entries {
+		want := tr.Entries[i]
+		if want.Checksum == 0 {
+			want.Checksum = want.ComputeChecksum()
+		}
+		g := got.Entries[i]
+		if g.Key != want.Key || g.TimestampSec != want.TimestampSec ||
+			g.IntervalMinutes != want.IntervalMinutes || g.WSSPages != want.WSSPages ||
+			g.TotalPages != want.TotalPages || g.CompressibleFrac != want.CompressibleFrac ||
+			g.Checksum != want.Checksum ||
+			!reflect.DeepEqual(g.ColdTails, want.ColdTails) ||
+			!reflect.DeepEqual(g.PromoTails, want.PromoTails) {
+			t.Fatalf("entry %d did not round-trip:\n got %+v\nwant %+v", i, g, want)
+		}
+	}
+	if sk := h.Skipped(); sk.Chunks != 0 || sk.Entries != 0 {
+		t.Fatalf("clean file reported damage: %+v", sk)
+	}
+}
+
+// TestReplayEquivalence is the satellite acceptance check: compiling a
+// store file out-of-core must give bit-identical model results to the
+// in-memory gob path.
+func TestReplayEquivalence(t *testing.T) {
+	tr := testTrace(t, 12)
+	path := writeStoreFile(t, tr, WithChunkEntries(257)) // odd size: chunks split mid-interval
+
+	cfg := model.Config{Params: core.DefaultParams, SLO: core.DefaultSLO}
+	want, err := model.Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ct, err := h.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ct.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("out-of-core replay diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// And via the generic Compile path on an in-memory format.
+	ct2 := model.Compile(tr)
+	got2, err := ct2.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("compiled replay diverged from reference")
+	}
+}
+
+func TestOpenAutoDetectsFormats(t *testing.T) {
+	tr := testTrace(t, 3)
+	dir := t.TempDir()
+
+	storePath := filepath.Join(dir, "t.store")
+	sf, err := os.Create(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(sf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	gobPath := filepath.Join(dir, "t.gob")
+	var gobBuf bytes.Buffer
+	if err := tr.Save(&gobBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gobPath, gobBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jsonPath := filepath.Join(dir, "t.json")
+	jb, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, jb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		path string
+		want Format
+	}{
+		{storePath, FormatStore},
+		{gobPath, FormatGob},
+		{jsonPath, FormatJSON},
+	} {
+		h, err := Open(tc.path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if h.Format() != tc.want {
+			t.Errorf("%s detected as %v, want %v", tc.path, h.Format(), tc.want)
+		}
+		if h.Entries() != tr.Len() {
+			t.Errorf("%s: %d entries, want %d", tc.path, h.Entries(), tr.Len())
+		}
+		// Every format must compile to the same replay result.
+		ct, err := h.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.path, err)
+		}
+		if ct.Intervals() != tr.Len() {
+			t.Errorf("%s: compiled %d intervals, want %d", tc.path, ct.Intervals(), tr.Len())
+		}
+		h.Close()
+	}
+}
+
+// TestCorruptChunkRecovery is the satellite recovery drill: flip bytes
+// inside one chunk with the fault package's deterministic corruptor and
+// assert the reader skips exactly that chunk, accounts the damage, the
+// model sees the hole as gap intervals, and replay still succeeds.
+func TestCorruptChunkRecovery(t *testing.T) {
+	tr := testTrace(t, 6)
+	path := writeStoreFile(t, tr, WithChunkEntries(128))
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the chunks from a clean open so the flips land mid-chunk,
+	// not in the header or footer.
+	clean, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := clean.Reader().Chunks()
+	clean.Close()
+	if len(chunks) < 3 {
+		t.Fatalf("want >= 3 chunks, got %d", len(chunks))
+	}
+	victim := chunks[1]
+	region := buf[victim.Offset+chunkHeaderSize : victim.Offset+chunkHeaderSize+int64(victim.StoredLen)]
+	if n := fault.FlipBytes(region, 7, 3); len(n) != 3 {
+		t.Fatalf("FlipBytes flipped %d bytes", len(n))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	ct, err := h.Compile() // must not fail: damage degrades, not dies
+	if err != nil {
+		t.Fatalf("compile over corrupt chunk: %v", err)
+	}
+	sk := h.Skipped()
+	if sk.Chunks != 1 {
+		t.Fatalf("skipped %d chunks, want exactly the corrupted one; ranges: %+v", sk.Chunks, sk.Ranges)
+	}
+	if sk.Entries != victim.Entries {
+		t.Errorf("skipped %d entries, want %d", sk.Entries, victim.Entries)
+	}
+	if len(sk.Ranges) != 1 || sk.Ranges[0].Chunk != 1 ||
+		sk.Ranges[0].MinTS != victim.MinTS || sk.Ranges[0].MaxTS != victim.MaxTS {
+		t.Errorf("skipped range does not identify the chunk: %+v", sk.Ranges)
+	}
+
+	// Completeness accounting: the reference replay on the full trace has
+	// some gap count; the holes the skipped chunk leaves must add to it.
+	cfg := model.Config{Params: core.DefaultParams, SLO: core.DefaultSLO}
+	full, err := model.Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := ct.Run(cfg)
+	if err != nil {
+		t.Fatalf("replay over corrupt chunk: %v", err)
+	}
+	if damaged.GapIntervals <= full.GapIntervals {
+		t.Errorf("gap intervals %d not above clean replay's %d — the hole went unaccounted",
+			damaged.GapIntervals, full.GapIntervals)
+	}
+	if damaged.Completeness >= full.Completeness {
+		t.Errorf("completeness %.4f not below clean replay's %.4f", damaged.Completeness, full.Completeness)
+	}
+	totalIntervals := func(r model.FleetResult) int {
+		n := 0
+		for _, j := range r.Jobs {
+			n += j.Intervals
+		}
+		return n
+	}
+	if got, want := totalIntervals(damaged), totalIntervals(full)-victim.Entries; got != want {
+		t.Errorf("replayed %d intervals, want %d (full minus the %d skipped)", got, want, victim.Entries)
+	}
+}
+
+func TestFooterLossRescans(t *testing.T) {
+	tr := testTrace(t, 4)
+	path := writeStoreFile(t, tr, WithChunkEntries(100))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the tail magic: the footer is unlocatable.
+	copy(buf[len(buf)-8:], "XXXXXXXX")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := Open(path)
+	if err != nil {
+		t.Fatalf("open with destroyed footer: %v", err)
+	}
+	defer h.Close()
+	// The sequential rescan must find every chunk; only the trailing
+	// garbage (the ex-footer) is unreadable.
+	got, err := h.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != tr.Len() {
+		t.Fatalf("rescan recovered %d entries, want %d", len(got.Entries), tr.Len())
+	}
+}
+
+func TestRangeScanPrunes(t *testing.T) {
+	tr := testTrace(t, 6)
+	path := writeStoreFile(t, tr, WithChunkEntries(100))
+	h, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	minTS, maxTS := h.TimeBounds()
+	lo := minTS + (maxTS-minTS)/3
+	hi := minTS + 2*(maxTS-minTS)/3
+	want := 0
+	for _, e := range tr.Entries {
+		if e.TimestampSec >= lo && e.TimestampSec < hi {
+			want++
+		}
+	}
+	got := 0
+	err = h.ScanRange(lo, hi, func(e telemetry.Entry) error {
+		if e.TimestampSec < lo || e.TimestampSec >= hi {
+			t.Fatalf("entry at %d outside [%d, %d)", e.TimestampSec, lo, hi)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("range scan yielded %d entries, want %d", got, want)
+	}
+}
+
+// TestStreamingIngest drives the full streaming path: a stream collector
+// exporting straight into a Writer, no in-memory trace anywhere.
+func TestStreamingIngest(t *testing.T) {
+	tr := testTrace(t, 3)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, MetaOf(telemetry.NewTrace()), WithChunkEntries(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.GenerateTo(fleet.Config{
+		Clusters: 2, MachinesPerCluster: 3, JobsPerMachine: 2,
+		Duration: 3 * time.Hour, Seed: 42,
+	}, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEntries() != tr.Len() {
+		t.Fatalf("streamed %d entries, batch path has %d", r.NumEntries(), tr.Len())
+	}
+	i := 0
+	err = r.Scan(func(e telemetry.Entry) error {
+		want := tr.Entries[i]
+		if want.Checksum == 0 {
+			want.Checksum = want.ComputeChecksum()
+		}
+		if e.Key != want.Key || e.TimestampSec != want.TimestampSec || e.Checksum != want.Checksum {
+			t.Fatalf("entry %d: streamed %v@%d, batch %v@%d", i, e.Key, e.TimestampSec, want.Key, want.TimestampSec)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectorToWriter plugs a Writer in as a stream collector's export
+// sink — the node-agent ingest topology: histograms in, chunks on disk
+// out, no in-memory trace in between.
+func TestCollectorToWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, MetaOf(telemetry.NewTrace()), WithChunkEntries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := telemetry.NewStreamCollector(w, telemetry.NewTrace().Thresholds)
+	key := telemetry.JobKey{Cluster: "c", Machine: "m", Job: "j"}
+
+	promo := histogram.New(histogram.DefaultScanPeriod)
+	census := histogram.New(histogram.DefaultScanPeriod)
+	census.Add(0, 70)
+	census.Add(5, 30)
+	for i := 1; i <= 5; i++ {
+		promo.Add(5, 10) // cumulative counter grows each interval
+		if err := c.Record(key, time.Duration(i)*5*time.Minute, 5, promo, census, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEntries() != 5 {
+		t.Fatalf("sink received %d entries, want 5", r.NumEntries())
+	}
+	// The collector's delta logic must survive the round trip: every
+	// interval after the first promoted exactly the 10-page delta.
+	i := 0
+	err = r.Scan(func(e telemetry.Entry) error {
+		if i > 0 && e.PromoTails[0] != 10 {
+			t.Fatalf("interval %d promo delta %d, want 10", i, e.PromoTails[0])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, MetaOf(telemetry.NewTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("empty store file unreadable: %v", err)
+	}
+	if r.NumEntries() != 0 || r.NumChunks() != 0 {
+		t.Fatalf("empty file has %d entries in %d chunks", r.NumEntries(), r.NumChunks())
+	}
+	if err := r.Scan(func(telemetry.Entry) error { t.Fatal("entry from empty file"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, MetaOf(telemetry.NewTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[6] = 99 // version field
+	_, err = NewReader(bytes.NewReader(b), int64(len(b)))
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("version 99 error = %v, want ErrUnsupportedVersion", err)
+	}
+}
+
+func TestVerifyReportsWithoutMutating(t *testing.T) {
+	tr := testTrace(t, 4)
+	path := writeStoreFile(t, tr, WithChunkEntries(100))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := h.Reader().Chunks()
+	h.Close()
+	victim := chunks[0]
+	buf[victim.Offset+chunkHeaderSize+int64(victim.StoredLen)/2] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	sk, entries, err := h.Reader().Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Chunks != 1 || sk.Entries != victim.Entries {
+		t.Fatalf("verify report %+v, want 1 chunk / %d entries", sk, victim.Entries)
+	}
+	if want := tr.Len() - victim.Entries; entries != want {
+		t.Fatalf("verify read %d entries, want %d", entries, want)
+	}
+	// Verify must not pollute the cumulative scan accounting.
+	if cum := h.Skipped(); cum.Chunks != 0 {
+		t.Fatalf("Verify leaked into cumulative damage: %+v", cum)
+	}
+}
+
+func TestFlipBytesDeterministic(t *testing.T) {
+	a := bytes.Repeat([]byte{0xAA}, 4096)
+	b := bytes.Repeat([]byte{0xAA}, 4096)
+	offA := fault.FlipBytes(a, 99, 8)
+	offB := fault.FlipBytes(b, 99, 8)
+	if !reflect.DeepEqual(offA, offB) || !bytes.Equal(a, b) {
+		t.Fatal("FlipBytes not deterministic for equal seeds")
+	}
+	c := bytes.Repeat([]byte{0xAA}, 4096)
+	fault.FlipBytes(c, 100, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds flipped identical bytes")
+	}
+	for _, off := range offA {
+		if a[off] == 0xAA {
+			t.Fatalf("offset %d reported flipped but unchanged", off)
+		}
+	}
+	if fault.FlipBytes(nil, 1, 3) != nil {
+		t.Fatal("FlipBytes on empty buffer should be a no-op")
+	}
+}

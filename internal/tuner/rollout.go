@@ -116,6 +116,11 @@ func StagedRollout(candidate, incumbent core.Params, obj StageObjective, stages 
 	return rep, nil
 }
 
+// RangeScanner streams trace entries with TimestampSec in [lo, hi) —
+// hi <= lo meaning all of them — to fn. tracestore.Handle.ScanRange is
+// one (out-of-core, chunk-pruned); an in-memory trace adapts trivially.
+type RangeScanner func(lo, hi int64, fn func(telemetry.Entry) error) error
+
 // TraceStageObjective builds a StageObjective from a telemetry trace: each
 // stage replays the jobs hashed into its fleet fraction over that stage's
 // slice of the trace timeline (the rollout advances through time as it
@@ -123,9 +128,6 @@ func StagedRollout(candidate, incumbent core.Params, obj StageObjective, stages 
 // job key, so a job that carried the candidate in the canary still
 // carries it in every later ring.
 func TraceStageObjective(trace *telemetry.Trace, cfg model.Config, nStages int) StageObjective {
-	if nStages <= 0 {
-		nStages = len(DefaultRolloutStages)
-	}
 	var minTS, maxTS int64
 	for i, e := range trace.Entries {
 		if i == 0 || e.TimestampSec < minTS {
@@ -134,6 +136,30 @@ func TraceStageObjective(trace *telemetry.Trace, cfg model.Config, nStages int) 
 		if e.TimestampSec > maxTS {
 			maxTS = e.TimestampSec
 		}
+	}
+	scan := func(lo, hi int64, fn func(telemetry.Entry) error) error {
+		bounded := hi > lo
+		for _, e := range trace.Entries {
+			if bounded && (e.TimestampSec < lo || e.TimestampSec >= hi) {
+				continue
+			}
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ScanStageObjective(trace.Thresholds, minTS, maxTS, scan, cfg, nStages)
+}
+
+// ScanStageObjective is TraceStageObjective over any re-scannable entry
+// source — the out-of-core variant. Each stage's slice of the timeline is
+// compiled by streaming the source's entries (filtered to the ring's job
+// fraction) straight into the fast model's columnar form, so staged
+// rollouts health-check against traces that never fit in memory.
+func ScanStageObjective(thresholds []int, minTS, maxTS int64, scan RangeScanner, cfg model.Config, nStages int) StageObjective {
+	if nStages <= 0 {
+		nStages = len(DefaultRolloutStages)
 	}
 	span := maxTS - minTS + 1
 	// Each (stage index, fraction) pair selects a params-independent slice
@@ -154,20 +180,17 @@ func TraceStageObjective(trace *telemetry.Trace, cfg model.Config, nStages int) 
 		if !ok {
 			lo := minTS + span*int64(idx)/int64(nStages)
 			hi := minTS + span*int64(idx+1)/int64(nStages)
-			sub := &telemetry.Trace{
-				ScanPeriodSeconds: trace.ScanPeriodSeconds,
-				Thresholds:        trace.Thresholds,
-			}
-			for _, e := range trace.Entries {
-				if e.TimestampSec < lo || e.TimestampSec >= hi {
-					continue
-				}
+			sc := model.NewStreamCompiler(thresholds)
+			err := scan(lo, hi, func(e telemetry.Entry) error {
 				if jobHash(e.Key) >= stage.Fraction {
-					continue
+					return nil
 				}
-				sub.Entries = append(sub.Entries, e)
+				return sc.Add(e)
+			})
+			if err != nil {
+				return model.FleetResult{}, fmt.Errorf("tuner: scanning stage %q slice: %w", stage.Name, err)
 			}
-			ct = model.Compile(sub)
+			ct = sc.Finish()
 			mu.Lock()
 			compiled[key] = ct
 			mu.Unlock()

@@ -39,6 +39,7 @@ import (
 	"sdfm/internal/node"
 	"sdfm/internal/tco"
 	"sdfm/internal/telemetry"
+	"sdfm/internal/tracestore"
 	"sdfm/internal/tuner"
 	"sdfm/internal/workload"
 	"sdfm/internal/zswap"
@@ -187,6 +188,21 @@ type (
 // GenerateFleetTrace synthesizes warehouse-scale telemetry.
 func GenerateFleetTrace(cfg FleetConfig) (*Trace, error) { return fleet.Generate(cfg) }
 
+// EntrySink receives telemetry entries as they are produced: a *Trace
+// buffers them in memory, a *TraceWriter streams them to disk.
+type EntrySink = telemetry.EntrySink
+
+// GenerateFleetTraceTo streams synthetic fleet telemetry into sink
+// interval by interval — with a TraceWriter sink, a warehouse-scale
+// trace goes straight to disk and is never held in memory.
+func GenerateFleetTraceTo(cfg FleetConfig, sink EntrySink) error {
+	return fleet.GenerateTo(cfg, sink)
+}
+
+// DefaultTraceMeta is the trace-wide metadata every generated trace
+// carries: the production scan period and predefined threshold set.
+func DefaultTraceMeta() TraceMeta { return tracestore.MetaOf(telemetry.NewTrace()) }
+
 // LoadTrace reads a trace written with Trace.Save.
 func LoadTrace(r io.Reader) (*Trace, error) { return telemetry.LoadTrace(r) }
 
@@ -249,6 +265,61 @@ func TraceObjective(trace *Trace, slo SLO) Objective {
 // LoadTraceJSON reads a trace from its JSON encoding, validating every
 // entry (including checksums) like LoadTrace does.
 func LoadTraceJSON(r io.Reader) (*Trace, error) { return telemetry.LoadTraceJSON(r) }
+
+// Trace storage (the chunked columnar on-disk format).
+type (
+	// TraceHandle is an opened trace file of any supported format (store,
+	// gob, or JSON), auto-detected by magic bytes. Store files stay on
+	// disk and compile out-of-core.
+	TraceHandle = tracestore.Handle
+	// TraceFormat identifies a trace file's encoding.
+	TraceFormat = tracestore.Format
+	// TraceWriter streams entries into the chunked columnar format as
+	// they are produced; it implements telemetry.EntrySink, so collectors
+	// and fleet generation can ingest straight to disk.
+	TraceWriter = tracestore.Writer
+	// TraceMeta is trace-wide metadata carried in a store file's header.
+	TraceMeta = tracestore.Meta
+	// TraceSkipped reports damage a store reader worked around.
+	TraceSkipped = tracestore.Skipped
+)
+
+// Trace file formats, as spelled by CLI -format flags.
+const (
+	TraceFormatStore = tracestore.FormatStore
+	TraceFormatGob   = tracestore.FormatGob
+	TraceFormatJSON  = tracestore.FormatJSON
+)
+
+// OpenTrace opens a trace file of any supported format, auto-detected by
+// magic bytes. Store-format files are not materialized: Handle.Compile
+// streams chunks straight into the fast model's columnar form, so
+// autotuning works on traces that never fit in memory.
+func OpenTrace(path string) (*TraceHandle, error) { return tracestore.Open(path) }
+
+// NewTraceWriter starts a store-format trace file on w.
+func NewTraceWriter(w io.Writer, meta TraceMeta, opts ...tracestore.WriterOption) (*TraceWriter, error) {
+	return tracestore.NewWriter(w, meta, opts...)
+}
+
+// WriteTraceStore writes an in-memory trace to w in the chunked columnar
+// store format.
+func WriteTraceStore(w io.Writer, trace *Trace) error {
+	return tracestore.WriteTrace(w, trace)
+}
+
+// CompiledObjective builds a tuner objective over an already-compiled
+// trace — the pairing for TraceHandle.Compile, which is how out-of-core
+// store files reach the autotuner:
+//
+//	h, _ := sdfm.OpenTrace(path)
+//	ct, _ := h.Compile()
+//	res, _ := sdfm.Autotune(sdfm.CompiledObjective(ct, slo), cfg)
+func CompiledObjective(ct *CompiledTrace, slo SLO) Objective {
+	return func(p Params) (FleetResult, error) {
+		return ct.Run(model.Config{Params: p, SLO: slo})
+	}
+}
 
 // Fault injection and graceful degradation.
 type (
@@ -330,6 +401,15 @@ func StagedRollout(candidate, incumbent Params, obj StageObjective, stages []Rol
 // fraction of the fleet over that stage's slice of the trace timeline.
 func TraceStageObjective(trace *Trace, cfg ModelConfig, nStages int) StageObjective {
 	return tuner.TraceStageObjective(trace, cfg, nStages)
+}
+
+// HandleStageObjective is TraceStageObjective for an opened trace file of
+// any format: store files stream each stage's slice chunk by chunk
+// (pruned by the footer's time index), so staged rollouts health-check
+// against traces that never fit in memory.
+func HandleStageObjective(h *TraceHandle, cfg ModelConfig, nStages int) StageObjective {
+	minTS, maxTS := h.TimeBounds()
+	return tuner.ScanStageObjective(h.Meta().Thresholds, minTS, maxTS, h.ScanRange, cfg, nStages)
 }
 
 // Sentinel errors for errors.Is branching.
