@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -203,11 +205,37 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	if err := par.RunParallel(90*time.Minute, 4); err != nil {
 		t.Fatal(err)
 	}
+	// Machines are independent given their seeds, so the parallel schedule
+	// must reproduce the sequential run's state exactly — not just summary
+	// counters but every job's accounting, census, and pool statistics.
 	for i := range seq.Machines() {
 		a, b := seq.Machines()[i], par.Machines()[i]
-		if a.CompressedPages() != b.CompressedPages() || a.ColdPagesAtMin() != b.ColdPagesAtMin() {
-			t.Fatalf("machine %d diverges: %d/%d vs %d/%d", i,
-				a.CompressedPages(), a.ColdPagesAtMin(), b.CompressedPages(), b.ColdPagesAtMin())
+		fa, fb := machineFingerprint(a), machineFingerprint(b)
+		if fa != fb {
+			t.Fatalf("machine %d state diverges between Run and RunParallel:\nseq:\n%s\npar:\n%s", i, fa, fb)
 		}
 	}
+}
+
+// machineFingerprint renders everything observable about a machine's
+// state — the same fields the golden-equivalence hash covers — so tests
+// can assert two runs are byte-identical with a readable diff.
+func machineFingerprint(m *node.Machine) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine %s now=%d evictions=%d limitKills=%d used=%d compressed=%d coldAtMin=%d\n",
+		m.Name(), m.Now(), m.Evictions(), m.LimitKills(), m.UsedBytes(), m.CompressedPages(), m.ColdPagesAtMin())
+	runs, stall := m.PressureEvents()
+	fmt.Fprintf(&sb, "pressure runs=%d stall=%d\n", runs, stall)
+	fmt.Fprintf(&sb, "faults %+v\n", m.FaultStats())
+	fmt.Fprintf(&sb, "pool %+v\n", m.Tier().Stats())
+	for _, j := range m.Jobs() {
+		fmt.Fprintf(&sb, "job %s state=%d prio=%d prom=%d storedPages=%d storedBytes=%d cpu=%d compress=%d decompress=%d stall=%d\n",
+			j.Memcg.Name(), j.State, j.Priority, j.Promotions, j.StoredPages, j.StoredBytes,
+			j.CPUUsed, j.CompressCPU, j.DecompressCPU, j.StallTime)
+		fmt.Fprintf(&sb, "memcg pages=%d resident=%d compressed=%d compressedBytes=%d usage=%d\n",
+			j.Memcg.NumPages(), j.Memcg.Resident(), j.Memcg.Compressed(), j.Memcg.CompressedBytes(), j.Memcg.UsageBytes())
+		fmt.Fprintf(&sb, "census %v\npromotions %v\nscans %d\n",
+			j.Tracker.Census().Counts(), j.Tracker.Promotions().Counts(), j.Tracker.Scans())
+	}
+	return sb.String()
 }

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/fault"
+	"sdfm/internal/node"
+	"sdfm/internal/telemetry"
+)
+
+// goldenFingerprint runs a seeded 20-machine cluster — proactive, reactive
+// and disabled machines, an active fault plan (crashes, churn, stalls,
+// pressure spikes, compressor faults), breakers, and a telemetry collector
+// — and reduces everything observable about the run to one FNV-64a hash:
+// the full telemetry trace bytes, every machine's eviction/pressure/fault
+// counters and pool statistics, and every job's cumulative accounting,
+// census, and promotion histograms.
+//
+// The checked-in golden value was produced by the pre-SoA walk-based
+// simulator; the refactored simulator must reproduce it bit for bit
+// (same RNG draw order, same counters, same arena operation order).
+func goldenFingerprint(t *testing.T) string {
+	t.Helper()
+	const seed = 20
+	duration := 3 * time.Hour
+
+	trace := telemetry.NewTrace()
+	c, err := New(Config{
+		Name:           "golden",
+		Machines:       20,
+		DRAMPerMachine: 512 << 20,
+		Mode:           node.ModeProactive,
+		ModeFn: func(i int) node.Mode {
+			switch i % 5 {
+			case 3:
+				return node.ModeReactive
+			case 4:
+				return node.ModeDisabled
+			default:
+				return node.ModeProactive
+			}
+		},
+		Params:    core.DefaultParams,
+		SLO:       core.DefaultSLO,
+		Seed:      seed,
+		Collector: telemetry.NewCollector(trace),
+		Faults:    fault.DefaultPlan(seed, duration),
+		Breaker:   node.BreakerConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Populate(50, nil, seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(duration); err != nil {
+		t.Fatal(err)
+	}
+
+	h := fnv.New64a()
+	var buf bytes.Buffer
+	if err := trace.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h.Write(buf.Bytes())
+
+	for _, m := range c.Machines() {
+		fmt.Fprintf(h, "machine %s now=%d evictions=%d limitKills=%d used=%d compressed=%d coldAtMin=%d\n",
+			m.Name(), m.Now(), m.Evictions(), m.LimitKills(), m.UsedBytes(), m.CompressedPages(), m.ColdPagesAtMin())
+		runs, stall := m.PressureEvents()
+		fmt.Fprintf(h, "pressure runs=%d stall=%d\n", runs, stall)
+		fmt.Fprintf(h, "faults %+v\n", m.FaultStats())
+		fmt.Fprintf(h, "pool %+v\n", m.Tier().Stats())
+		for _, j := range m.Jobs() {
+			fmt.Fprintf(h, "job %s state=%d prio=%d prom=%d storedPages=%d storedBytes=%d cpu=%d compress=%d decompress=%d stall=%d\n",
+				j.Memcg.Name(), j.State, j.Priority, j.Promotions, j.StoredPages, j.StoredBytes,
+				j.CPUUsed, j.CompressCPU, j.DecompressCPU, j.StallTime)
+			fmt.Fprintf(h, "memcg pages=%d resident=%d compressed=%d compressedBytes=%d usage=%d\n",
+				j.Memcg.NumPages(), j.Memcg.Resident(), j.Memcg.Compressed(), j.Memcg.CompressedBytes(), j.Memcg.UsageBytes())
+			census := j.Tracker.Census().Counts()
+			promos := j.Tracker.Promotions().Counts()
+			fmt.Fprintf(h, "census %v\npromotions %v\nscans %d\n", census, promos, j.Tracker.Scans())
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func TestGoldenClusterEquivalence(t *testing.T) {
+	if raceEnabled {
+		t.Skip("golden 20-machine run is too slow under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("golden 20-machine run skipped in -short mode")
+	}
+	got := goldenFingerprint(t)
+	path := filepath.Join("testdata", "golden_cluster.txt")
+	if os.Getenv("SDFM_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", got)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with SDFM_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Fatalf("cluster fingerprint diverged from the walk-based simulator:\n got %s\nwant %s\n"+
+			"The page-store refactor must stay bit-identical (same RNG draw order, same counters).",
+			got, strings.TrimSpace(string(want)))
+	}
+}

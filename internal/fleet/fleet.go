@@ -158,9 +158,25 @@ func GenerateTo(cfg Config, sink telemetry.EntrySink) error {
 
 	filter := fault.NewTraceFilter(cfg.Faults)
 	intervalMin := cfg.Interval.Minutes()
+	// Active-window sweep. Instances within a slot are a contiguous,
+	// non-overlapping chain sorted by start time, so a monotonic cursor
+	// per slot finds the (at most one) live instance in amortized O(1)
+	// instead of testing every dead instance at every interval. Slots are
+	// visited in build order and contribute at most one entry each, so
+	// emission order is identical to the full filtered walk.
+	cursors := make([]int, len(instances))
 	for t := cfg.Interval; t <= cfg.Duration; t += cfg.Interval {
-		for _, inst := range instances {
-			if t <= inst.start || t > inst.end {
+		for s, chain := range instances {
+			i := cursors[s]
+			for i < len(chain) && t > chain[i].end {
+				i++
+			}
+			cursors[s] = i
+			if i == len(chain) {
+				continue
+			}
+			inst := chain[i]
+			if t <= inst.start {
 				continue
 			}
 			e, keep := filter.Apply(inst.entry(t, cfg, thresholdsSec, intervalMin))
@@ -175,8 +191,13 @@ func GenerateTo(cfg Config, sink telemetry.EntrySink) error {
 	return nil
 }
 
-func buildInstances(cfg Config, rng *rand.Rand) []*jobInstance {
-	var instances []*jobInstance
+// buildInstances returns one chain of instances per job slot. Within a
+// slot the chain is time-ordered and non-overlapping (each instance
+// starts where its predecessor ended), which GenerateTo's sweep relies
+// on; flattening the chains in slot order reproduces the historical
+// flat instance list.
+func buildInstances(cfg Config, rng *rand.Rand) [][]*jobInstance {
+	var instances [][]*jobInstance
 	for c := 0; c < cfg.Clusters; c++ {
 		cluster := fmt.Sprintf("cluster-%02d", c)
 		weights := tiltedWeights(cfg, c)
@@ -188,6 +209,7 @@ func buildInstances(cfg Config, rng *rand.Rand) []*jobInstance {
 				churny := slotRng.Float64() < cfg.ChurnFraction
 				// A slot yields one long-running instance, or a chain of
 				// short-lived ones for churny slots.
+				var chain []*jobInstance
 				start := time.Duration(0)
 				idx := 0
 				for start < cfg.Duration {
@@ -208,10 +230,11 @@ func buildInstances(cfg Config, rng *rand.Rand) []*jobInstance {
 					}, arch, slotRng)
 					inst.start = start
 					inst.end = end
-					instances = append(instances, inst)
+					chain = append(chain, inst)
 					start = end
 					idx++
 				}
+				instances = append(instances, chain)
 			}
 		}
 	}

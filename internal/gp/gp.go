@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"sdfm/internal/linalg"
 )
@@ -228,30 +230,64 @@ func FitHyperparams(xs [][]float64, ys []float64, noiseVar float64) (Kernel, err
 		return nil, ErrNoData
 	}
 	dims := len(xs[0])
+	variances := []float64{0.25, 1, 4}
+	scales := []float64{0.1, 0.2, 0.4, 0.8}
+	type cell struct{ v, s float64 }
+	var cells []cell
+	for _, v := range variances {
+		for _, s := range scales {
+			cells = append(cells, cell{v, s})
+		}
+	}
+	// Each grid cell fits its own GP, so the cells are independent; they
+	// run on a bounded worker pool and the argmax reduction below walks
+	// them in grid order with strict >, reproducing the serial search's
+	// choice (ties included) exactly.
+	lmls := make([]float64, len(cells))
+	oks := make([]bool, len(cells))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < len(cells); c += workers {
+				ls := make([]float64, dims)
+				for i := range ls {
+					ls[i] = cells[c].s
+				}
+				g := New(RBF{Variance: cells[c].v, LengthScales: ls}, noiseVar)
+				for i := range xs {
+					g.Add(xs[i], ys[i])
+				}
+				lml, err := g.LogMarginalLikelihood()
+				if err != nil {
+					continue
+				}
+				lmls[c] = lml
+				oks[c] = true
+			}
+		}(w)
+	}
+	wg.Wait()
 	var (
 		bestK   Kernel
 		bestLML = math.Inf(-1)
 	)
-	variances := []float64{0.25, 1, 4}
-	scales := []float64{0.1, 0.2, 0.4, 0.8}
-	for _, v := range variances {
-		for _, s := range scales {
+	for c := range cells {
+		if !oks[c] {
+			continue
+		}
+		if lmls[c] > bestLML {
+			bestLML = lmls[c]
 			ls := make([]float64, dims)
 			for i := range ls {
-				ls[i] = s
+				ls[i] = cells[c].s
 			}
-			g := New(RBF{Variance: v, LengthScales: ls}, noiseVar)
-			for i := range xs {
-				g.Add(xs[i], ys[i])
-			}
-			lml, err := g.LogMarginalLikelihood()
-			if err != nil {
-				continue
-			}
-			if lml > bestLML {
-				bestLML = lml
-				bestK = RBF{Variance: v, LengthScales: ls}
-			}
+			bestK = RBF{Variance: cells[c].v, LengthScales: ls}
 		}
 	}
 	if bestK == nil {

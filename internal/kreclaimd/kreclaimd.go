@@ -30,6 +30,9 @@ type Result struct {
 // Reclaimer moves cold pages into a far-memory tier.
 type Reclaimer struct {
 	tier zswap.FarMemory
+	// ids is the reusable candidate-gather buffer, so steady-state reclaim
+	// passes allocate nothing.
+	ids []mem.PageID
 }
 
 // New creates a reclaimer backed by tier.
@@ -44,15 +47,13 @@ func (r *Reclaimer) Tier() zswap.FarMemory { return r.tier }
 // thresholdBucket scan periods. Pages whose accessed bit is currently set
 // are skipped (they were touched since the last scan and will be re-aged).
 func (r *Reclaimer) ReclaimCold(m *mem.Memcg, thresholdBucket int) Result {
-	var res Result
-	m.ForEachPage(func(id mem.PageID, p *mem.Page) {
-		res.Scanned++
-		if int(p.Age) < thresholdBucket {
-			return
-		}
-		if !p.Reclaimable() || p.Has(mem.FlagAccessed) {
-			return
-		}
+	res := Result{Scanned: m.NumPages()}
+	// The age-bucket index proves the common cases — nothing cold enough,
+	// or everything cold already compressed — in at most 256 reads; only
+	// when candidates exist does a flat sweep gather them, in ascending
+	// page order, before any store mutates the flags column.
+	r.ids = m.AppendColdReclaimable(r.ids[:0], thresholdBucket)
+	for _, id := range r.ids {
 		res.Eligible++
 		sr := r.tier.Store(m, id)
 		res.CPUTime += sr.CPUTime
@@ -65,7 +66,7 @@ func (r *Reclaimer) ReclaimCold(m *mem.Memcg, thresholdBucket int) Result {
 		case zswap.StoreRejectedFull:
 			res.PoolFull++
 		}
-	})
+	}
 	return res
 }
 
@@ -78,14 +79,15 @@ func (r *Reclaimer) ReclaimCold(m *mem.Memcg, thresholdBucket int) Result {
 func (r *Reclaimer) ReclaimUnderPressure(m *mem.Memcg, targetBytes uint64) Result {
 	var res Result
 	var freed uint64
-	// Coldest-first: iterate ages from MaxAge down to 0.
+	// Coldest-first: iterate ages from MaxAge down to 0, visiting only the
+	// buckets the reclaim index shows non-empty; within a bucket, pages go
+	// in ascending order, accessed bit notwithstanding (direct reclaim is
+	// indiscriminate).
 	for age := mem.MaxAge; age >= 0 && freed < targetBytes; age-- {
-		m.ForEachPage(func(id mem.PageID, p *mem.Page) {
+		r.ids = m.AppendReclaimableAt(r.ids[:0], uint8(age))
+		for _, id := range r.ids {
 			if freed >= targetBytes {
-				return
-			}
-			if int(p.Age) != age || !p.Reclaimable() {
-				return
+				break
 			}
 			res.Eligible++
 			sr := r.tier.Store(m, id)
@@ -100,7 +102,7 @@ func (r *Reclaimer) ReclaimUnderPressure(m *mem.Memcg, targetBytes uint64) Resul
 			case zswap.StoreRejectedFull:
 				res.PoolFull++
 			}
-		})
+		}
 	}
 	res.Scanned = m.NumPages()
 	return res

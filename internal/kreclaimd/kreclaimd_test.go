@@ -13,7 +13,9 @@ func newJob(pages int, mix pagedata.Mix) *mem.Memcg {
 }
 
 func ageAll(m *mem.Memcg, age uint8) {
-	m.ForEachPage(func(_ mem.PageID, p *mem.Page) { p.Age = age })
+	for id := mem.PageID(0); int(id) < m.NumPages(); id++ {
+		m.SetAge(id, age)
+	}
 }
 
 func TestReclaimColdRespectsThreshold(t *testing.T) {
@@ -21,13 +23,13 @@ func TestReclaimColdRespectsThreshold(t *testing.T) {
 	pool := zswap.NewPool()
 	r := New(pool)
 	// Half the pages at age 10, half at age 2.
-	m.ForEachPage(func(id mem.PageID, p *mem.Page) {
+	for id := mem.PageID(0); int(id) < m.NumPages(); id++ {
 		if id%2 == 0 {
-			p.Age = 10
+			m.SetAge(id, 10)
 		} else {
-			p.Age = 2
+			m.SetAge(id, 2)
 		}
-	})
+	}
 	res := r.ReclaimCold(m, 5)
 	if res.Scanned != 100 {
 		t.Errorf("Scanned = %d", res.Scanned)
@@ -39,7 +41,7 @@ func TestReclaimColdRespectsThreshold(t *testing.T) {
 		t.Errorf("Compressed = %d", m.Compressed())
 	}
 	// Pages below the threshold stay resident.
-	if m.Page(1).Has(mem.FlagCompressed) {
+	if m.Flags(1).Has(mem.FlagCompressed) {
 		t.Error("hot page was compressed")
 	}
 	if res.CPUTime <= 0 {
@@ -54,14 +56,14 @@ func TestReclaimColdSkipsAccessedAndIneligible(t *testing.T) {
 	m := newJob(4, pagedata.NewMix(0, 1, 0, 0, 0))
 	r := New(zswap.NewPool())
 	ageAll(m, 50)
-	m.Page(0).Set(mem.FlagAccessed)
-	m.Page(1).Set(mem.FlagMlocked)
-	m.Page(2).Set(mem.FlagUnevictable)
+	m.SetFlags(0, mem.FlagAccessed)
+	m.SetFlags(1, mem.FlagMlocked)
+	m.SetFlags(2, mem.FlagUnevictable)
 	res := r.ReclaimCold(m, 5)
 	if res.Stored != 1 {
 		t.Errorf("Stored = %d, want 1 (only page 3)", res.Stored)
 	}
-	if !m.Page(3).Has(mem.FlagCompressed) {
+	if !m.Flags(3).Has(mem.FlagCompressed) {
 		t.Error("eligible page not compressed")
 	}
 }
@@ -113,19 +115,21 @@ func TestReclaimUnderPressureColdestFirst(t *testing.T) {
 	m := newJob(100, pagedata.NewMix(0, 1, 0, 0, 0))
 	r := New(zswap.NewPool())
 	// Ages 0..99 (page i has age i%256).
-	m.ForEachPage(func(id mem.PageID, p *mem.Page) { p.Age = uint8(id) })
+	for id := mem.PageID(0); int(id) < m.NumPages(); id++ {
+		m.SetAge(id, uint8(id))
+	}
 	res := r.ReclaimUnderPressure(m, 10*mem.PageSize)
 	if res.Stored != 10 {
 		t.Fatalf("Stored = %d, want 10", res.Stored)
 	}
 	// The 10 coldest pages (ages 90..99) must be the ones compressed.
 	for id := 90; id < 100; id++ {
-		if !m.Page(mem.PageID(id)).Has(mem.FlagCompressed) {
+		if !m.Flags(mem.PageID(id)).Has(mem.FlagCompressed) {
 			t.Errorf("coldest page %d not compressed", id)
 		}
 	}
 	for id := 0; id < 90; id++ {
-		if m.Page(mem.PageID(id)).Has(mem.FlagCompressed) {
+		if m.Flags(mem.PageID(id)).Has(mem.FlagCompressed) {
 			t.Errorf("hot page %d compressed by pressure reclaim", id)
 		}
 	}

@@ -68,44 +68,30 @@ func (t *Tracker) Memcg() *mem.Memcg { return t.m }
 // ScanPeriod returns the scan period (the age quantum).
 func (t *Tracker) ScanPeriod() time.Duration { return t.scanPeriod }
 
-// Scan performs one kstaled pass over the memcg:
-//
-//   - a resident page with the accessed bit set contributes its
-//     age-at-access to the promotion histogram, then resets to age 0 with
-//     the bit cleared;
-//   - a resident page with the bit clear ages by one period (saturating);
-//   - a compressed page ages by one period; it has no PTEs, so the bit is
-//     never set (faults promote it before any access completes).
-//
-// The cold-age census is rebuilt from the post-scan ages.
+// Scan performs one kstaled pass over the memcg: a single flat sweep of
+// the flags/ages columns (mem.ScanAges) ages every page, harvests
+// accessed bits, and rebuilds the memcg's age-bucket index; the cold-age
+// census is then installed wholesale from the bucket counts, and the
+// sweep's age-at-access tallies are folded into the cumulative promotion
+// histogram.
 func (t *Tracker) Scan() {
-	t.census.Reset()
-	t.m.ForEachPage(func(_ mem.PageID, p *mem.Page) {
-		switch {
-		case p.Has(mem.FlagCompressed):
-			if p.Age < mem.MaxAge {
-				p.Age++
-			}
-		case p.Has(mem.FlagAccessed):
-			t.promotions.Add(int(p.Age), 1)
-			p.Age = 0
-			p.Clear(mem.FlagAccessed)
-		default:
-			if p.Age < mem.MaxAge {
-				p.Age++
-			}
+	var promos [mem.NumAges]uint64
+	t.m.ScanAges(&promos)
+	for b, n := range promos {
+		if n != 0 {
+			t.promotions.Add(b, n)
 		}
-		t.census.Add(int(p.Age), 1)
-	})
+	}
+	t.census.SetCounts(t.m.AgeCounts())
 	t.scans++
 	t.cpu += time.Duration(t.m.NumPages()) * t.costPerPage
 }
 
 // RecordPromotionFault accounts an actual promotion (a fault on a
-// compressed page) in the promotion histogram at the page's current age.
-// The node layer calls this before zswap.Load resets the page.
-func (t *Tracker) RecordPromotionFault(p *mem.Page) {
-	t.promotions.Add(int(p.Age), 1)
+// compressed page) in the promotion histogram at the age the page had
+// reached. The node layer calls this before zswap.Load resets the page.
+func (t *Tracker) RecordPromotionFault(age uint8) {
+	t.promotions.Add(int(age), 1)
 }
 
 // Census returns the age census from the last scan. The caller must not

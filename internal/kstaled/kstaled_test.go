@@ -61,7 +61,7 @@ func TestScanResetsAccessedPages(t *testing.T) {
 	if got := tr.Census().Count(3); got != 9 {
 		t.Errorf("census bucket 3 = %d, want 9", got)
 	}
-	if m.Page(4).Has(mem.FlagAccessed) {
+	if m.Flags(4).Has(mem.FlagAccessed) {
 		t.Error("accessed bit not cleared by scan")
 	}
 	// The promotion histogram recorded age-at-access = 2.
@@ -106,7 +106,7 @@ func TestScanAgeSaturates(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		tr.Scan()
 	}
-	if got := m.Page(0).Age; got != mem.MaxAge {
+	if got := m.Age(0); got != mem.MaxAge {
 		t.Errorf("age = %d, want saturated %d", got, mem.MaxAge)
 	}
 	if got := tr.Census().Count(histogram.MaxBucket); got != 2 {
@@ -131,18 +131,19 @@ func TestScanCompressedPagesKeepAging(t *testing.T) {
 	}
 	var compressedID mem.PageID
 	found := false
-	m.ForEachPage(func(id mem.PageID, p *mem.Page) {
-		if p.Has(mem.FlagCompressed) && !found {
+	for id := mem.PageID(0); int(id) < m.NumPages(); id++ {
+		if m.Flags(id).Has(mem.FlagCompressed) {
 			compressedID = id
 			found = true
+			break
 		}
-	})
+	}
 	if !found {
 		t.Skip("no page compressed (all incompressible in this mix)")
 	}
-	before := m.Page(compressedID).Age
+	before := m.Age(compressedID)
 	tr.Scan()
-	if got := m.Page(compressedID).Age; got != before+1 {
+	if got := m.Age(compressedID); got != before+1 {
 		t.Errorf("compressed page age = %d, want %d", got, before+1)
 	}
 }
@@ -150,9 +151,8 @@ func TestScanCompressedPagesKeepAging(t *testing.T) {
 func TestRecordPromotionFault(t *testing.T) {
 	m := newJob(4)
 	tr := NewTracker(m, Config{})
-	p := m.Page(0)
-	p.Age = 42
-	tr.RecordPromotionFault(p)
+	m.SetAge(0, 42)
+	tr.RecordPromotionFault(m.Age(0))
 	if got := tr.Promotions().Count(42); got != 1 {
 		t.Errorf("promotion at age 42 = %d, want 1", got)
 	}

@@ -7,10 +7,38 @@
 // that have been migrated to far memory are unmapped; touching one is a
 // major fault that the node layer resolves by decompressing (a
 // "promotion").
+//
+// Layout: page state is stored structure-of-arrays — a flags column and an
+// ages column (one byte per page each, so the scan and reclaim walks touch
+// two dense byte arrays) next to a cold-metadata column (content seed,
+// class, compressed-payload handle) that only the store/load paths read.
+// Two bucket indexes are maintained incrementally on every age or flag
+// transition:
+//
+//   - ageCounts[a] counts all pages at age a (the census source);
+//   - reclaimAges[a] counts the flag-wise reclaim-eligible pages at age a,
+//     so reclaim passes can prove "nothing at or above the threshold" in
+//     256 reads instead of a full walk.
+//
+// A third, lazily-compacted index lists the compressed pages so crash and
+// job-exit paths visit only the far-memory set.
+//
+// Compressed pages age lazily. A compressed page has no PTEs, so a scan
+// can neither observe an accessed bit nor reset it: its age just grows by
+// one per scan until promotion. Instead of touching each one every scan,
+// the ages column freezes the age the page had when it was compressed,
+// the page records the scan epoch of that moment, and Age reconstructs
+// the current value as frozen age + elapsed epochs (saturating). The
+// whole compressed cohort then advances in O(NumAges) per scan by
+// shifting its age histogram (compressedAges) one bucket, and the scan
+// walk skips compressed pages entirely.
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sort"
 
 	"sdfm/internal/pagedata"
 	"sdfm/internal/zsmalloc"
@@ -22,6 +50,10 @@ const PageSize = 4096
 // MaxAge is the saturating value of the 8-bit per-page age, counted in
 // scan periods (255 × 120 s ≈ 8.5 h in the production configuration).
 const MaxAge = 255
+
+// NumAges is the number of distinct age values (bucket count of the age
+// indexes); it equals histogram.NumBuckets.
+const NumAges = MaxAge + 1
 
 // PageID identifies a page within its memcg.
 type PageID uint32
@@ -45,10 +77,21 @@ const (
 	FlagCompressed
 )
 
-// Page is the per-page metadata (the simulator's struct page).
-type Page struct {
-	Flags PageFlags
-	Age   uint8 // scan periods since last observed access
+// reclaimMask is the set of flags any of which makes a page ineligible for
+// reclaim. The accessed bit is deliberately not part of it: it flips on
+// every touch, and proactive reclaim filters it per pass instead.
+const reclaimMask = FlagCompressed | FlagMlocked | FlagUnevictable | FlagIncompressible
+
+// Has reports whether all flags in x are set.
+func (f PageFlags) Has(x PageFlags) bool { return f&x == x }
+
+// Reclaimable reports whether kreclaimd may move a page with these flags
+// to far memory.
+func (f PageFlags) Reclaimable() bool { return f&reclaimMask == 0 }
+
+// PageMeta is the cold per-page metadata: everything the scan and reclaim
+// walks do not need, kept out of their cache footprint.
+type PageMeta struct {
 	Class pagedata.Class
 	// Seed determines the page's content; writes bump it so content (and
 	// therefore compressibility) changes when the application rewrites a
@@ -58,20 +101,10 @@ type Page struct {
 	Handle zsmalloc.Handle
 	// CompressedSize is the payload size while compressed, else 0.
 	CompressedSize int32
-}
-
-// Has reports whether all flags in f are set.
-func (p *Page) Has(f PageFlags) bool { return p.Flags&f == f }
-
-// Set sets the flags in f.
-func (p *Page) Set(f PageFlags) { p.Flags |= f }
-
-// Clear clears the flags in f.
-func (p *Page) Clear(f PageFlags) { p.Flags &^= f }
-
-// Reclaimable reports whether kreclaimd may move this page to far memory.
-func (p *Page) Reclaimable() bool {
-	return p.Flags&(FlagCompressed|FlagMlocked|FlagUnevictable|FlagIncompressible) == 0
+	// epoch is the memcg scan epoch at which the page was compressed (or
+	// last SetAge while compressed); Age adds the epochs elapsed since to
+	// the frozen ages-column value.
+	epoch uint64
 }
 
 // Memcg is a job's memory cgroup: its page population (which can grow as
@@ -79,14 +112,34 @@ func (p *Page) Reclaimable() bool {
 // for concurrent use.
 type Memcg struct {
 	name       string
-	pages      []Page
+	flags      []uint8 // PageFlags values; []uint8 so scans can load 8 at a time
+	ages       []uint8
+	meta       []PageMeta
 	resident   int // pages currently in near memory
 	compressed int // pages currently in far memory
-	mix        pagedata.Mix
-	seedBase   uint64
+	// compressedBytes is the running sum of compressed payload sizes, so
+	// telemetry export is O(1) instead of a page walk.
+	compressedBytes uint64
+	mix             pagedata.Mix
+	seedBase        uint64
 	// LimitBytes is the cgroup memory limit; 0 means unlimited. The node
 	// agent turns zswap off for jobs at their limit (§5.1).
 	LimitBytes uint64
+
+	// Age-bucket indexes; see the package comment for the invariants.
+	ageCounts   [NumAges]uint64
+	reclaimAges [NumAges]uint64
+	// scanEpoch counts ScanAges passes; compressedAges[a] counts the
+	// compressed pages currently at age a. Together they let the scan age
+	// the whole compressed cohort without visiting it.
+	scanEpoch      uint64
+	compressedAges [NumAges]uint64
+	// compressedIDs lists pages that were compressed at some point, in
+	// MarkCompressed order. Entries go stale when pages are promoted and
+	// may repeat when re-compressed; compactCompressedIDs restores the
+	// exact sorted compressed set. Appends keep it within a constant
+	// factor of the live set.
+	compressedIDs []PageID
 }
 
 // Config describes a memcg's page population.
@@ -110,7 +163,9 @@ func NewMemcg(cfg Config) *Memcg {
 	}
 	m := &Memcg{
 		name:     cfg.Name,
-		pages:    make([]Page, cfg.Pages),
+		flags:    make([]uint8, cfg.Pages),
+		ages:     make([]uint8, cfg.Pages),
+		meta:     make([]PageMeta, cfg.Pages),
 		resident: cfg.Pages,
 		mix:      cfg.Mix,
 		seedBase: cfg.SeedBase,
@@ -119,16 +174,21 @@ func NewMemcg(cfg Config) *Memcg {
 	if cfg.MlockedFraction > 0 {
 		mlockEvery = int(1 / cfg.MlockedFraction)
 	}
-	for i := range m.pages {
-		p := &m.pages[i]
-		p.Seed = cfg.SeedBase + uint64(i)*0x9E3779B97F4A7C15 + 1
+	reclaimable := uint64(0)
+	for i := range m.meta {
+		mt := &m.meta[i]
+		mt.Seed = cfg.SeedBase + uint64(i)*0x9E3779B97F4A7C15 + 1
 		// Deterministic class assignment: hash the seed into [0,1).
-		u := float64(splitmix(p.Seed)%1_000_000) / 1_000_000
-		p.Class = cfg.Mix.Sample(u)
+		u := float64(splitmix(mt.Seed)%1_000_000) / 1_000_000
+		mt.Class = cfg.Mix.Sample(u)
 		if mlockEvery > 0 && i%mlockEvery == 0 {
-			p.Set(FlagMlocked)
+			m.flags[i] = uint8(FlagMlocked)
+		} else {
+			reclaimable++
 		}
 	}
+	m.ageCounts[0] = uint64(cfg.Pages)
+	m.reclaimAges[0] = reclaimable
 	return m
 }
 
@@ -146,17 +206,20 @@ func (m *Memcg) Grow(n int) PageID {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: growing %s by %d pages", m.name, n))
 	}
-	first := PageID(len(m.pages))
+	first := PageID(len(m.flags))
 	for i := 0; i < n; i++ {
-		idx := len(m.pages)
-		var p Page
-		p.Seed = m.seedBase + uint64(idx)*0x9E3779B97F4A7C15 + 1
-		u := float64(splitmix(p.Seed)%1_000_000) / 1_000_000
-		p.Class = m.mix.Sample(u)
-		p.Set(FlagAccessed | FlagDirty)
-		m.pages = append(m.pages, p)
+		idx := len(m.flags)
+		var mt PageMeta
+		mt.Seed = m.seedBase + uint64(idx)*0x9E3779B97F4A7C15 + 1
+		u := float64(splitmix(mt.Seed)%1_000_000) / 1_000_000
+		mt.Class = m.mix.Sample(u)
+		m.flags = append(m.flags, uint8(FlagAccessed|FlagDirty))
+		m.ages = append(m.ages, 0)
+		m.meta = append(m.meta, mt)
 		m.resident++
 	}
+	m.ageCounts[0] += uint64(n)
+	m.reclaimAges[0] += uint64(n)
 	return first
 }
 
@@ -174,7 +237,7 @@ func (m *Memcg) AtLimit() bool {
 func (m *Memcg) Name() string { return m.name }
 
 // NumPages returns the total page population.
-func (m *Memcg) NumPages() int { return len(m.pages) }
+func (m *Memcg) NumPages() int { return len(m.flags) }
 
 // Resident returns the number of pages in near memory.
 func (m *Memcg) Resident() int { return m.resident }
@@ -185,44 +248,130 @@ func (m *Memcg) Compressed() int { return m.compressed }
 // ResidentBytes returns near-memory usage in bytes.
 func (m *Memcg) ResidentBytes() uint64 { return uint64(m.resident) * PageSize }
 
-// Page returns the metadata for id. It panics on an out-of-range id, which
-// is always a simulator bug.
-func (m *Memcg) Page(id PageID) *Page {
-	return &m.pages[id]
+// Flags returns the flag word of page id. It panics on an out-of-range
+// id, which is always a simulator bug.
+func (m *Memcg) Flags(id PageID) PageFlags { return PageFlags(m.flags[id]) }
+
+// Age returns the age of page id in scan periods. For a compressed page
+// the ages column holds the age frozen at compression time; the scans
+// elapsed since then are added here (saturating at MaxAge).
+func (m *Memcg) Age(id PageID) uint8 {
+	if m.flags[id]&uint8(FlagCompressed) == 0 {
+		return m.ages[id]
+	}
+	a := uint64(m.ages[id]) + (m.scanEpoch - m.meta[id].epoch)
+	if a > MaxAge {
+		return MaxAge
+	}
+	return uint8(a)
+}
+
+// Meta returns the cold metadata of page id. The pointer stays valid until
+// the memcg grows; callers must not change Handle or CompressedSize (those
+// belong to MarkCompressed/MarkPromoted).
+func (m *Memcg) Meta(id PageID) *PageMeta { return &m.meta[id] }
+
+// Reclaimable reports whether kreclaimd may move page id to far memory.
+func (m *Memcg) Reclaimable(id PageID) bool { return m.flags[id]&uint8(reclaimMask) == 0 }
+
+// fixReclaim updates the reclaim index after page id's flags changed from
+// before to after at an unchanged age.
+func (m *Memcg) fixReclaim(id PageID, before, after PageFlags) {
+	was, is := before&reclaimMask == 0, after&reclaimMask == 0
+	if was == is {
+		return
+	}
+	if is {
+		m.reclaimAges[m.ages[id]]++
+	} else {
+		m.reclaimAges[m.ages[id]]--
+	}
+}
+
+// SetFlags sets the flags in f on page id, maintaining the reclaim index.
+func (m *Memcg) SetFlags(id PageID, f PageFlags) {
+	before := PageFlags(m.flags[id])
+	after := before | f
+	m.flags[id] = uint8(after)
+	m.fixReclaim(id, before, after)
+}
+
+// ClearFlags clears the flags in f on page id, maintaining the reclaim
+// index.
+func (m *Memcg) ClearFlags(id PageID, f PageFlags) {
+	before := PageFlags(m.flags[id])
+	after := before &^ f
+	m.flags[id] = uint8(after)
+	m.fixReclaim(id, before, after)
+}
+
+// SetAge moves page id to the given age bucket.
+func (m *Memcg) SetAge(id PageID, age uint8) {
+	if m.flags[id]&uint8(FlagCompressed) != 0 {
+		old := m.Age(id)
+		m.ages[id] = age
+		m.meta[id].epoch = m.scanEpoch
+		if old == age {
+			return
+		}
+		m.ageCounts[old]--
+		m.ageCounts[age]++
+		m.compressedAges[old]--
+		m.compressedAges[age]++
+		return
+	}
+	old := m.ages[id]
+	if old == age {
+		return
+	}
+	m.ages[id] = age
+	m.ageCounts[old]--
+	m.ageCounts[age]++
+	if m.flags[id]&uint8(reclaimMask) == 0 {
+		m.reclaimAges[old]--
+		m.reclaimAges[age]++
+	}
 }
 
 // Touch records an application access to page id, setting the accessed bit
 // exactly as the MMU would. A write additionally dirties the page, changes
 // its content seed, and clears any incompressible mark (matching the
 // kernel behaviour of re-evaluating compressibility once a PTE goes
-// dirty). It returns the page so callers can observe whether a promotion
-// fault is needed (FlagCompressed still set).
-func (m *Memcg) Touch(id PageID, write bool) *Page {
-	p := &m.pages[id]
-	p.Set(FlagAccessed)
+// dirty). Callers that need to resolve promotion faults check
+// Flags(id).Has(FlagCompressed) before touching.
+func (m *Memcg) Touch(id PageID, write bool) {
+	before := PageFlags(m.flags[id])
+	after := before | FlagAccessed
 	if write {
-		p.Set(FlagDirty)
-		if p.Has(FlagIncompressible) {
-			p.Clear(FlagIncompressible)
-		}
-		p.Seed = splitmix(p.Seed)
+		after = (after | FlagDirty) &^ FlagIncompressible
+		m.meta[id].Seed = splitmix(m.meta[id].Seed)
 	}
-	return p
+	m.flags[id] = uint8(after)
+	m.fixReclaim(id, before, after)
 }
 
 // MarkCompressed transitions page id into far memory with the given
 // compressed payload handle. The page must be resident and reclaimable.
 func (m *Memcg) MarkCompressed(id PageID, h zsmalloc.Handle, compressedSize int) {
-	p := &m.pages[id]
-	if p.Has(FlagCompressed) {
+	before := PageFlags(m.flags[id])
+	if before.Has(FlagCompressed) {
 		panic(fmt.Sprintf("mem: page %d of %s compressed twice", id, m.name))
 	}
-	p.Set(FlagCompressed)
-	p.Clear(FlagDirty)
-	p.Handle = h
-	p.CompressedSize = int32(compressedSize)
+	after := (before | FlagCompressed) &^ FlagDirty
+	m.flags[id] = uint8(after)
+	m.fixReclaim(id, before, after)
+	mt := &m.meta[id]
+	mt.Handle = h
+	mt.CompressedSize = int32(compressedSize)
+	mt.epoch = m.scanEpoch
+	m.compressedAges[m.ages[id]]++
+	m.compressedBytes += uint64(compressedSize)
 	m.resident--
 	m.compressed++
+	if len(m.compressedIDs) >= 2*m.compressed+64 {
+		m.compactCompressedIDs()
+	}
+	m.compressedIDs = append(m.compressedIDs, id)
 }
 
 // MarkPromoted transitions page id back to near memory after a promotion
@@ -230,35 +379,282 @@ func (m *Memcg) MarkCompressed(id PageID, h zsmalloc.Handle, compressedSize int)
 // eligible for compression again once it turns cold again), so its age
 // resets and the accessed bit is set.
 func (m *Memcg) MarkPromoted(id PageID) {
-	p := &m.pages[id]
-	if !p.Has(FlagCompressed) {
+	before := PageFlags(m.flags[id])
+	if !before.Has(FlagCompressed) {
 		panic(fmt.Sprintf("mem: promoting non-compressed page %d of %s", id, m.name))
 	}
-	p.Clear(FlagCompressed)
-	p.Set(FlagAccessed)
-	p.Age = 0
-	p.Handle = zsmalloc.InvalidHandle
-	p.CompressedSize = 0
+	old := m.Age(id)
+	after := (before &^ FlagCompressed) | FlagAccessed
+	m.flags[id] = uint8(after)
+	m.ages[id] = 0
+	m.compressedAges[old]--
+	m.ageCounts[old]--
+	m.ageCounts[0]++
+	// The page was flag-ineligible while compressed; it re-enters the
+	// reclaim set at age 0 unless another mask flag is set.
+	if after&reclaimMask == 0 {
+		m.reclaimAges[0]++
+	}
+	mt := &m.meta[id]
+	m.compressedBytes -= uint64(mt.CompressedSize)
+	mt.Handle = zsmalloc.InvalidHandle
+	mt.CompressedSize = 0
 	m.resident++
 	m.compressed--
 }
 
-// ForEachPage calls fn for every page in the memcg. fn receives the page
-// id and a mutable pointer.
-func (m *Memcg) ForEachPage(fn func(PageID, *Page)) {
-	for i := range m.pages {
-		fn(PageID(i), &m.pages[i])
+// ScanAges performs the page-state half of one kstaled pass as a flat,
+// branch-light sweep over the flags and ages columns:
+//
+//   - a resident page with the accessed bit set contributes its
+//     age-at-access to promos, then resets to age 0 with the bit cleared;
+//   - a resident page with the bit clear ages by one period (saturating);
+//   - a compressed page ages by one period; it has no PTEs, so the bit is
+//     never set by hardware (faults promote it before any access
+//     completes).
+//
+// Both bucket indexes are rebuilt from the post-scan state in the same
+// sweep, so the census is afterwards available as AgeCounts in O(1).
+func (m *Memcg) ScanAges(promos *[NumAges]uint64) {
+	// Age the whole compressed cohort in O(NumAges): one scan elapses, so
+	// its age histogram shifts up a bucket (saturating into the last one)
+	// and the per-page frozen ages fall one epoch further behind.
+	m.scanEpoch++
+	ca := &m.compressedAges
+	ca[MaxAge] += ca[MaxAge-1]
+	for a := MaxAge - 1; a >= 1; a-- {
+		ca[a] = ca[a-1]
 	}
+	ca[0] = 0
+
+	var ageCounts, reclaimAges [NumAges]uint64
+	flags, ages := m.flags, m.ages
+	n := len(flags)
+	// Eight flag bytes are loaded at a time; bit 5 (FlagCompressed) of the
+	// fused word marks the compressed pages, and the walk visits only the
+	// resident bytes via trailing-zeros iteration. Compressed pages cost
+	// nothing here beyond the shared load — their aging is the histogram
+	// shift above.
+	const compressed8 = uint64(FlagCompressed) * 0x0101010101010101
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		resident := ^binary.LittleEndian.Uint64(flags[i:i+8:i+8]) & compressed8
+		for resident != 0 {
+			j := i + bits.TrailingZeros64(resident)>>3
+			resident &= resident - 1
+			f := PageFlags(flags[j])
+			a := ages[j]
+			if f&FlagAccessed != 0 {
+				promos[a]++
+				a = 0
+				ages[j] = 0
+				f &^= FlagAccessed
+				flags[j] = uint8(f)
+			} else if a < MaxAge {
+				a++
+				ages[j] = a
+			}
+			ageCounts[a]++
+			if f&reclaimMask == 0 {
+				reclaimAges[a]++
+			}
+		}
+	}
+	for ; i < n; i++ {
+		f := PageFlags(flags[i])
+		if f&FlagCompressed != 0 {
+			continue
+		}
+		a := ages[i]
+		if f&FlagAccessed != 0 {
+			promos[a]++
+			a = 0
+			ages[i] = 0
+			f &^= FlagAccessed
+			flags[i] = uint8(f)
+		} else if a < MaxAge {
+			a++
+			ages[i] = a
+		}
+		ageCounts[a]++
+		if f&reclaimMask == 0 {
+			reclaimAges[a]++
+		}
+	}
+	for a := 0; a < NumAges; a++ {
+		ageCounts[a] += ca[a]
+	}
+	m.ageCounts = ageCounts
+	m.reclaimAges = reclaimAges
+}
+
+// AgeCounts returns the full-population age census (bucket a holds the
+// number of pages at age a, compressed pages included).
+func (m *Memcg) AgeCounts() [NumAges]uint64 { return m.ageCounts }
+
+// ReclaimTail returns the number of flag-wise reclaim-eligible pages at
+// age >= threshold. Pages whose accessed bit is set are included; reclaim
+// policy filters them per pass.
+func (m *Memcg) ReclaimTail(threshold int) uint64 {
+	if threshold < 0 {
+		threshold = 0
+	}
+	var s uint64
+	for a := threshold; a < NumAges; a++ {
+		s += m.reclaimAges[a]
+	}
+	return s
+}
+
+// AppendColdReclaimable appends to dst the ids (ascending) of pages at
+// age >= threshold that are reclaimable and whose accessed bit is clear —
+// exactly the pages a proactive cold-reclaim pass stores. When the
+// reclaim index proves the tail empty, no pages are visited.
+func (m *Memcg) AppendColdReclaimable(dst []PageID, threshold int) []PageID {
+	if threshold > MaxAge || m.ReclaimTail(threshold) == 0 {
+		return dst
+	}
+	th := uint8(0)
+	if threshold > 0 {
+		th = uint8(threshold)
+	}
+	flags, ages := m.flags, m.ages
+	for i := range ages {
+		// Flags first: it rejects compressed pages, whose ages entry is
+		// the frozen compression-time value, not the current age.
+		if flags[i]&uint8(reclaimMask|FlagAccessed) == 0 && ages[i] >= th {
+			dst = append(dst, PageID(i))
+		}
+	}
+	return dst
+}
+
+// AppendReclaimableAt appends to dst the ids (ascending) of reclaimable
+// pages at exactly the given age, regardless of the accessed bit — the
+// per-bucket visit order of coldest-first pressure reclaim. Empty buckets
+// cost 1 read.
+func (m *Memcg) AppendReclaimableAt(dst []PageID, age uint8) []PageID {
+	if m.reclaimAges[age] == 0 {
+		return dst
+	}
+	flags, ages := m.flags, m.ages
+	for i := range ages {
+		if flags[i]&uint8(reclaimMask) == 0 && ages[i] == age {
+			dst = append(dst, PageID(i))
+		}
+	}
+	return dst
+}
+
+// compactCompressedIDs rewrites compressedIDs to the exact live set:
+// currently-compressed pages only, ascending, no duplicates.
+func (m *Memcg) compactCompressedIDs() {
+	live := m.compressedIDs[:0]
+	for _, id := range m.compressedIDs {
+		if m.flags[id]&uint8(FlagCompressed) != 0 {
+			live = append(live, id)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	uniq := live[:0]
+	for i, id := range live {
+		if i == 0 || id != live[i-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	m.compressedIDs = uniq
+}
+
+// AppendCompressed appends to dst the ids of all far-memory pages in
+// ascending order — the visit set of crash and job-exit paths, which
+// therefore no longer walk the whole memcg.
+func (m *Memcg) AppendCompressed(dst []PageID) []PageID {
+	m.compactCompressedIDs()
+	return append(dst, m.compressedIDs...)
+}
+
+// ResetAges implements the page-state half of a machine restart: every
+// page refaults cold — age 0, accessed and incompressible bits clear —
+// and the indexes are rebuilt. Mlocked/unevictable markings survive (they
+// are properties of the restarted job's address space, not history).
+func (m *Memcg) ResetAges() {
+	reclaimable := uint64(0)
+	for i, fb := range m.flags {
+		f := PageFlags(fb) &^ (FlagAccessed | FlagIncompressible)
+		m.flags[i] = uint8(f)
+		if f&reclaimMask == 0 {
+			reclaimable++
+		}
+		if f&FlagCompressed != 0 {
+			m.meta[i].epoch = m.scanEpoch
+		}
+	}
+	for i := range m.ages {
+		m.ages[i] = 0
+	}
+	m.ageCounts = [NumAges]uint64{}
+	m.ageCounts[0] = uint64(len(m.flags))
+	m.reclaimAges = [NumAges]uint64{}
+	m.reclaimAges[0] = reclaimable
+	m.compressedAges = [NumAges]uint64{}
+	m.compressedAges[0] = uint64(m.compressed)
 }
 
 // CompressedBytes returns the total compressed payload bytes of this
-// memcg's far-memory pages.
-func (m *Memcg) CompressedBytes() uint64 {
-	var sum uint64
-	for i := range m.pages {
-		if m.pages[i].Has(FlagCompressed) {
-			sum += uint64(m.pages[i].CompressedSize)
+// memcg's far-memory pages, maintained incrementally.
+func (m *Memcg) CompressedBytes() uint64 { return m.compressedBytes }
+
+// VerifyIndexes recounts every index and accounting field from the raw
+// columns and reports the first mismatch; nil means all invariants hold.
+// It exists for tests and costs a full walk.
+func (m *Memcg) VerifyIndexes() error {
+	var ageCounts, reclaimAges, compressedAges [NumAges]uint64
+	var resident, compressed int
+	var compressedBytes uint64
+	for i, fb := range m.flags {
+		f := PageFlags(fb)
+		a := m.Age(PageID(i))
+		ageCounts[a]++
+		if f&reclaimMask == 0 {
+			reclaimAges[a]++
+		}
+		if f&FlagCompressed != 0 {
+			compressed++
+			compressedAges[a]++
+			compressedBytes += uint64(m.meta[i].CompressedSize)
+		} else {
+			resident++
 		}
 	}
-	return sum
+	if ageCounts != m.ageCounts {
+		return fmt.Errorf("mem: %s ageCounts index diverged from recount", m.name)
+	}
+	if reclaimAges != m.reclaimAges {
+		return fmt.Errorf("mem: %s reclaimAges index diverged from recount", m.name)
+	}
+	if compressedAges != m.compressedAges {
+		return fmt.Errorf("mem: %s compressedAges index diverged from recount", m.name)
+	}
+	if resident != m.resident || compressed != m.compressed {
+		return fmt.Errorf("mem: %s resident/compressed = %d/%d, recount %d/%d",
+			m.name, m.resident, m.compressed, resident, compressed)
+	}
+	if compressedBytes != m.compressedBytes {
+		return fmt.Errorf("mem: %s compressedBytes = %d, recount %d",
+			m.name, m.compressedBytes, compressedBytes)
+	}
+	ids := m.AppendCompressed(nil)
+	if len(ids) != compressed {
+		return fmt.Errorf("mem: %s compressed-id index holds %d pages, recount %d",
+			m.name, len(ids), compressed)
+	}
+	for i, id := range ids {
+		if i > 0 && ids[i-1] >= id {
+			return fmt.Errorf("mem: %s compressed-id index not strictly ascending at %d", m.name, i)
+		}
+		if m.flags[id]&uint8(FlagCompressed) == 0 {
+			return fmt.Errorf("mem: %s compressed-id index lists resident page %d", m.name, id)
+		}
+	}
+	return nil
 }

@@ -200,6 +200,9 @@ type Machine struct {
 	churnKills       int  // jobs finished early by churn bursts
 	breakerTrips     int  // breaker opens across all jobs
 	backoffEvents    int  // breaker backoff escalations across all jobs
+
+	// dropIDs is the reusable compressed-set buffer for releaseFarMemory.
+	dropIDs []mem.PageID
 }
 
 // NewMachine builds a machine.
@@ -439,9 +442,8 @@ func (m *Machine) Step() error {
 			if faultErr != nil {
 				return
 			}
-			page := j.Memcg.Page(id)
-			if page.Has(mem.FlagCompressed) {
-				j.Tracker.RecordPromotionFault(page)
+			if j.Memcg.Flags(id).Has(mem.FlagCompressed) {
+				j.Tracker.RecordPromotionFault(j.Memcg.Age(id))
 				lr, err := m.pool.Load(j.Memcg, id)
 				if err != nil {
 					faultErr = fmt.Errorf("node: promotion fault on %s page %d: %v: %w",
@@ -582,10 +584,7 @@ func (m *Machine) crash() error {
 		if err := m.releaseFarMemory(j); err != nil {
 			return err
 		}
-		j.Memcg.ForEachPage(func(_ mem.PageID, p *mem.Page) {
-			p.Age = 0
-			p.Clear(mem.FlagAccessed | mem.FlagIncompressible)
-		})
+		j.Memcg.ResetAges()
 		j.Tracker = kstaled.NewTracker(j.Memcg, kstaled.Config{ScanPeriod: m.scanPeriod})
 		ctrl, err := core.NewController(core.ControllerConfig{
 			SLO:      m.cfg.SLO,
@@ -824,22 +823,24 @@ func (m *Machine) evict(j *Job) error {
 	return nil
 }
 
-// releaseFarMemory discards a departing job's far-memory pages.
+// releaseFarMemory discards a departing job's far-memory pages, visiting
+// only the compressed set (ascending page order) rather than the whole
+// memcg.
 func (m *Machine) releaseFarMemory(j *Job) error {
-	var dropErr error
-	j.Memcg.ForEachPage(func(id mem.PageID, p *mem.Page) {
-		if dropErr == nil && p.Has(mem.FlagCompressed) {
-			if zp, ok := m.pool.(interface {
-				Drop(*mem.Memcg, mem.PageID) error
-			}); ok {
-				dropErr = zp.Drop(j.Memcg, id)
-			} else {
-				_, err := m.pool.Load(j.Memcg, id)
-				dropErr = err
-			}
-		}
+	m.dropIDs = j.Memcg.AppendCompressed(m.dropIDs[:0])
+	dropper, canDrop := m.pool.(interface {
+		Drop(*mem.Memcg, mem.PageID) error
 	})
-	return dropErr
+	for _, id := range m.dropIDs {
+		if canDrop {
+			if err := dropper.Drop(j.Memcg, id); err != nil {
+				return err
+			}
+		} else if _, err := m.pool.Load(j.Memcg, id); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (m *Machine) jobKey(j *Job) telemetry.JobKey {

@@ -96,8 +96,7 @@ func (d *Detector) BeginInterval() {
 		if d.poisoned[id] {
 			continue
 		}
-		p := d.m.Page(id)
-		if p.Has(mem.FlagMlocked) || p.Has(mem.FlagUnevictable) {
+		if d.m.Flags(id)&(mem.FlagMlocked|mem.FlagUnevictable) != 0 {
 			continue
 		}
 		d.poisoned[id] = true

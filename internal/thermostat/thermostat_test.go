@@ -130,7 +130,7 @@ func TestMlockedPagesNeverPoisoned(t *testing.T) {
 	}
 	d.BeginInterval()
 	for id := range d.poisoned {
-		if m.Page(id).Has(mem.FlagMlocked) {
+		if m.Flags(id).Has(mem.FlagMlocked) {
 			t.Fatalf("mlocked page %d poisoned", id)
 		}
 	}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"sdfm/internal/core"
@@ -214,17 +216,41 @@ func Autotune(obj Objective, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		beta := gp.UCBBeta(t, cfg.Candidates)
+		// Draw every candidate up front so the rng stream is consumed in
+		// the same order as a serial scan, then score them on a bounded
+		// worker pool (the fitted GP is read-only under Predict). The
+		// argmax reduction runs in candidate order with strict >, so the
+		// chosen point — ties included — matches the serial loop exactly.
+		cands := make([][]float64, cfg.Candidates)
+		for c := range cands {
+			cands[c] = []float64{rng.Float64(), rng.Float64()}
+		}
+		ucbs := make([]float64, len(cands))
+		errs := make([]error, len(cands))
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(cands) {
+			workers = len(cands)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for c := w; c < len(cands); c += workers {
+					ucbs[c], errs[c] = g.UCB(cands[c], beta)
+				}
+			}(w)
+		}
+		wg.Wait()
 		var bestX []float64
 		bestU := math.Inf(-1)
-		for c := 0; c < cfg.Candidates; c++ {
-			x := []float64{rng.Float64(), rng.Float64()}
-			u, err := g.UCB(x, beta)
-			if err != nil {
-				return Result{}, err
+		for c := range cands {
+			if errs[c] != nil {
+				return Result{}, errs[c]
 			}
-			if u > bestU {
-				bestU = u
-				bestX = x
+			if ucbs[c] > bestU {
+				bestU = ucbs[c]
+				bestX = cands[c]
 			}
 		}
 		if err := evaluate(cfg.Space.Denormalize(bestX)); err != nil {

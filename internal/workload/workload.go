@@ -11,7 +11,6 @@
 package workload
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -230,18 +229,67 @@ type event struct {
 	page mem.PageID
 }
 
+// eventHeap is a binary min-heap on at. It hand-implements the exact
+// sift algorithms of container/heap on the concrete element type: the
+// sequence of comparisons and swaps is identical, so the pop order —
+// including the arrangement-dependent order of equal timestamps — is
+// bit-for-bit the same as the container/heap version it replaces, while
+// avoiding interface dispatch and per-event boxing on the hottest loop
+// in the simulator.
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+func (h *eventHeap) init() {
+	n := len(*h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	h.down(0, n)
+	e := s[n]
+	*h = s[:n]
 	return e
+}
+
+func (h *eventHeap) up(j int) {
+	s := *h
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || s[j].at >= s[i].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *eventHeap) down(i0, n int) {
+	s := *h
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && s[j2].at < s[j1].at {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if s[j].at >= s[i].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
 }
 
 // Workload is one job instance's access generator.
@@ -320,7 +368,7 @@ func New(cfg Config) (*Workload, error) {
 		first := cfg.Start + time.Duration(rng.Float64()*w.periods[i]*float64(time.Second))
 		w.events = append(w.events, event{at: first, page: mem.PageID(i)})
 	}
-	heap.Init(&w.events)
+	w.events.init()
 	if a.ScanEvery > 0 {
 		w.nextScan = cfg.Start + a.ScanEvery
 	}
@@ -355,7 +403,7 @@ func (w *Workload) DiurnalFactor(t time.Duration) float64 {
 // reaccess sooner).
 func (w *Workload) Tick(now time.Duration, access func(id mem.PageID, write bool)) {
 	for len(w.events) > 0 && w.events[0].at <= now {
-		e := heap.Pop(&w.events).(event)
+		e := w.events.pop()
 		write := w.rng.Float64() < w.arch.WriteFraction
 		access(e.page, write)
 		mean := w.periods[e.page] / w.DiurnalFactor(now)
@@ -363,7 +411,7 @@ func (w *Workload) Tick(now time.Duration, access func(id mem.PageID, write bool
 		if gap < 0.5 {
 			gap = 0.5
 		}
-		heap.Push(&w.events, event{
+		w.events.push(event{
 			at:   e.at + time.Duration(gap*float64(time.Second)),
 			page: e.page,
 		})
@@ -401,7 +449,7 @@ func (w *Workload) AddPages(n int, now time.Duration) {
 		w.periods = append(w.periods, period)
 		id := mem.PageID(w.pages)
 		w.pages++
-		heap.Push(&w.events, event{
+		w.events.push(event{
 			at:   now + time.Duration(w.rng.ExpFloat64()*period*float64(time.Second)),
 			page: id,
 		})

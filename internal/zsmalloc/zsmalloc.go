@@ -51,6 +51,8 @@ type zspage struct {
 	slots    []Handle // InvalidHandle when free
 	payloads [][]byte // parallel to slots; nil unless payload retained
 	sizes    []int    // payload size per slot
+	queued   bool     // currently in the class free-space heap
+	released bool     // returned to the system; stale heap entries skip it
 }
 
 func (z *zspage) capacity() int { return len(z.slots) }
@@ -71,11 +73,14 @@ type Arena struct {
 	nextHandle uint64
 	nextZspage uint64
 	classes    [][]*zspage // per class: zspages with at least one object or free slot
+	free       []zpHeap    // per class: min-heap by id of zspages with free slots
 	locations  map[Handle]location
 	retain     bool // keep payload bytes (vs. metadata-only simulation)
 
 	payloadBytes uint64 // sum of stored payload sizes
 	objects      int
+	zspages      int    // live zspages
+	slotBytes    uint64 // sum of rounded class sizes of live objects
 }
 
 // Option configures an Arena.
@@ -92,6 +97,7 @@ func RetainPayloads() Option {
 func New(opts ...Option) *Arena {
 	a := &Arena{
 		classes:   make([][]*zspage, numClasses()),
+		free:      make([]zpHeap, numClasses()),
 		locations: make(map[Handle]location),
 	}
 	for _, o := range opts {
@@ -146,15 +152,80 @@ func (a *Arena) Alloc(size int, payload []byte) (Handle, error) {
 	zp.used++
 	a.locations[h] = location{class: class, zspage: zp, slot: slot}
 	a.payloadBytes += uint64(size)
+	a.slotBytes += uint64(zp.slotSize)
 	a.objects++
 	return h, nil
 }
 
-func (a *Arena) findZspageWithSpace(class int) *zspage {
-	for _, zp := range a.classes[class] {
-		if zp.used < zp.capacity() {
-			return zp
+// zpHeap is a min-heap of zspages keyed by creation id, with lazy
+// deletion: entries that have since filled up or been released are
+// dropped at peek time rather than removed eagerly.
+//
+// Class lists only ever grow by append and shrink by order-preserving
+// removal, so they stay sorted by creation id. First-fit over the list
+// is therefore "lowest id with a free slot", which is exactly what the
+// heap yields — findZspageWithSpace returns the same zspage the linear
+// scan would, in O(log n) instead of O(n).
+type zpHeap []*zspage
+
+func (h *zpHeap) push(zp *zspage) {
+	zp.queued = true
+	*h = append(*h, zp)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[i].id <= s[j].id {
+			break
 		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *zpHeap) pop() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && s[r].id < s[l].id {
+			j = r
+		}
+		if s[i].id <= s[j].id {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+}
+
+// queueIfFree (re-)registers zp in its class free heap when it has a
+// free slot and is not already queued.
+func (a *Arena) queueIfFree(zp *zspage) {
+	if !zp.queued && !zp.released && zp.used < zp.capacity() {
+		a.free[zp.class].push(zp)
+	}
+}
+
+func (a *Arena) findZspageWithSpace(class int) *zspage {
+	h := &a.free[class]
+	for len(*h) > 0 {
+		zp := (*h)[0]
+		if zp.released || zp.used >= zp.capacity() {
+			zp.queued = false
+			h.pop()
+			continue
+		}
+		return zp
 	}
 	return nil
 }
@@ -177,6 +248,8 @@ func (a *Arena) newZspage(class int) *zspage {
 		zp.payloads = make([][]byte, n)
 	}
 	a.classes[class] = append(a.classes[class], zp)
+	a.free[class].push(zp)
+	a.zspages++
 	return zp
 }
 
@@ -211,6 +284,7 @@ func (a *Arena) Free(h Handle) error {
 	}
 	zp := loc.zspage
 	a.payloadBytes -= uint64(zp.sizes[loc.slot])
+	a.slotBytes -= uint64(zp.slotSize)
 	a.objects--
 	zp.slots[loc.slot] = InvalidHandle
 	zp.sizes[loc.slot] = 0
@@ -221,15 +295,19 @@ func (a *Arena) Free(h Handle) error {
 	delete(a.locations, h)
 	if zp.used == 0 {
 		a.releaseZspage(zp)
+	} else {
+		a.queueIfFree(zp)
 	}
 	return nil
 }
 
 func (a *Arena) releaseZspage(zp *zspage) {
+	zp.released = true
 	list := a.classes[zp.class]
 	for i, z := range list {
 		if z == zp {
 			a.classes[zp.class] = append(list[:i], list[i+1:]...)
+			a.zspages--
 			return
 		}
 	}
@@ -280,13 +358,17 @@ func (a *Arena) Compact() uint64 {
 			s.used--
 			a.locations[h] = location{class: class, zspage: d, slot: to}
 		}
-		// Release emptied zspages.
+		// Release emptied zspages and re-queue survivors that gained
+		// free slots while migrating objects out.
 		kept := list[:0]
 		for _, zp := range list {
 			if zp.used == 0 {
+				zp.released = true
 				reclaimed += ZspageBytes
+				a.zspages--
 			} else {
 				kept = append(kept, zp)
+				a.queueIfFree(zp)
 			}
 		}
 		a.classes[class] = kept
@@ -311,15 +393,15 @@ func (s Stats) Fragmentation() float64 {
 	return 1 - float64(s.PayloadBytes)/float64(s.PhysicalBytes)
 }
 
-// Stats returns current accounting.
+// Stats returns current accounting. All fields are maintained
+// incrementally, so this is O(1) — zswap's per-store capacity check
+// depends on that.
 func (a *Arena) Stats() Stats {
-	st := Stats{Objects: a.objects, PayloadBytes: a.payloadBytes}
-	for _, list := range a.classes {
-		for _, zp := range list {
-			st.Zspages++
-			st.PhysicalBytes += ZspageBytes
-			st.SlotBytes += uint64(zp.used * zp.slotSize)
-		}
+	return Stats{
+		Objects:       a.objects,
+		Zspages:       a.zspages,
+		PhysicalBytes: uint64(a.zspages) * ZspageBytes,
+		PayloadBytes:  a.payloadBytes,
+		SlotBytes:     a.slotBytes,
 	}
-	return st
 }

@@ -63,8 +63,7 @@ func (d *DevicePool) Profile() DeviceProfile { return d.profile }
 // Store moves a page to the device. Pages never fail compression on a
 // device tier, but the tier can fill up.
 func (d *DevicePool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
-	page := m.Page(id)
-	if !page.Reclaimable() {
+	if !m.Reclaimable(id) {
 		panic(fmt.Sprintf("zswap: storing non-reclaimable page %d of %s", id, m.Name()))
 	}
 	if d.profile.CapacityBytes > 0 && d.used+mem.PageSize > d.profile.CapacityBytes {
@@ -87,8 +86,7 @@ func (d *DevicePool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 
 // Load promotes a page from the device.
 func (d *DevicePool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
-	page := m.Page(id)
-	if !page.Has(mem.FlagCompressed) {
+	if !m.Flags(id).Has(mem.FlagCompressed) {
 		return LoadResult{}, fmt.Errorf("zswap: load of non-stored page %d of %s", id, m.Name())
 	}
 	m.MarkPromoted(id)

@@ -53,8 +53,7 @@ func (t *TieredPool) Tier2() *Pool { return t.tier2 }
 // produce (its acceptance cutoff is well below a full page, and
 // zero-filled pages record size 0).
 func (t *TieredPool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
-	page := m.Page(id)
-	if page.Age < t.splitAge {
+	if m.Age(id) < t.splitAge {
 		res := t.tier1.Store(m, id)
 		if res.Outcome != StoreRejectedFull {
 			return res
@@ -66,11 +65,10 @@ func (t *TieredPool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 
 // Load promotes a page from whichever tier holds it.
 func (t *TieredPool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
-	page := m.Page(id)
-	if !page.Has(mem.FlagCompressed) {
+	if !m.Flags(id).Has(mem.FlagCompressed) {
 		return LoadResult{}, fmt.Errorf("zswap: tiered load of non-stored page %d of %s", id, m.Name())
 	}
-	if t.holdsInTier1(page) {
+	if t.holdsInTier1(m.Meta(id)) {
 		return t.tier1.Load(m, id)
 	}
 	return t.tier2.Load(m, id)
@@ -78,22 +76,21 @@ func (t *TieredPool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
 
 // Drop discards a stored page without promotion cost.
 func (t *TieredPool) Drop(m *mem.Memcg, id mem.PageID) error {
-	page := m.Page(id)
-	if !page.Has(mem.FlagCompressed) {
+	if !m.Flags(id).Has(mem.FlagCompressed) {
 		return fmt.Errorf("zswap: tiered drop of non-stored page %d", id)
 	}
-	if t.holdsInTier1(page) {
+	if t.holdsInTier1(m.Meta(id)) {
 		_, err := t.tier1.Load(m, id)
 		if err == nil {
-			m.Page(id).Clear(mem.FlagAccessed)
+			m.ClearFlags(id, mem.FlagAccessed)
 		}
 		return err
 	}
 	return t.tier2.Drop(m, id)
 }
 
-func (t *TieredPool) holdsInTier1(page *mem.Page) bool {
-	return int(page.CompressedSize) == mem.PageSize
+func (t *TieredPool) holdsInTier1(meta *mem.PageMeta) bool {
+	return int(meta.CompressedSize) == mem.PageSize
 }
 
 // FootprintBytes is the DRAM consumed by the software tier (the hardware

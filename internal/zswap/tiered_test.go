@@ -18,8 +18,8 @@ func tieredFixture(capacityPages int) (*TieredPool, *mem.Memcg) {
 func TestTieredPlacementByAge(t *testing.T) {
 	tp, m := tieredFixture(50)
 	// Mildly cold page -> tier 1; deeply cold page -> tier 2.
-	m.Page(0).Age = 5
-	m.Page(1).Age = 100
+	m.SetAge(0, 5)
+	m.SetAge(1, 100)
 	if res := tp.Store(m, 0); res.Outcome != StoreOK || res.CompressedSize != mem.PageSize {
 		t.Fatalf("mildly cold page placement: %+v", res)
 	}
@@ -36,8 +36,8 @@ func TestTieredPlacementByAge(t *testing.T) {
 
 func TestTieredLoadRoutesToRightTier(t *testing.T) {
 	tp, m := tieredFixture(50)
-	m.Page(0).Age = 5
-	m.Page(1).Age = 100
+	m.SetAge(0, 5)
+	m.SetAge(1, 100)
 	tp.Store(m, 0)
 	tp.Store(m, 1)
 
@@ -68,7 +68,7 @@ func TestTieredLoadRoutesToRightTier(t *testing.T) {
 func TestTieredSpillToTier2WhenTier1Full(t *testing.T) {
 	tp, m := tieredFixture(3) // tiny tier 1
 	for i := 0; i < 10; i++ {
-		m.Page(mem.PageID(i)).Age = 5 // all prefer tier 1
+		m.SetAge(mem.PageID(i), 5) // all prefer tier 1
 		if res := tp.Store(m, mem.PageID(i)); res.Outcome != StoreOK {
 			t.Fatalf("page %d: %+v", i, res)
 		}
@@ -90,7 +90,7 @@ func TestTieredSpillToTier2WhenTier1Full(t *testing.T) {
 func TestTieredStats(t *testing.T) {
 	tp, m := tieredFixture(2)
 	for i := 0; i < 6; i++ {
-		m.Page(mem.PageID(i)).Age = 5
+		m.SetAge(mem.PageID(i), 5)
 		tp.Store(m, mem.PageID(i))
 	}
 	st := tp.Stats()
@@ -108,8 +108,8 @@ func TestTieredStats(t *testing.T) {
 
 func TestTieredDrop(t *testing.T) {
 	tp, m := tieredFixture(50)
-	m.Page(0).Age = 5
-	m.Page(1).Age = 100
+	m.SetAge(0, 5)
+	m.SetAge(1, 100)
 	tp.Store(m, 0)
 	tp.Store(m, 1)
 	if err := tp.Drop(m, 0); err != nil {
@@ -140,15 +140,15 @@ func TestTieredIncompressibleStillRejected(t *testing.T) {
 	profile.CapacityBytes = 10 * mem.PageSize
 	tp := NewTieredPool(profile, NewPool(), 10)
 	m := newMemcg(5, pagedata.NewMix(0, 0, 0, 0, 1))
-	m.Page(0).Age = 200
+	m.SetAge(0, 200)
 	if res := tp.Store(m, 0); res.Outcome != StoreRejectedIncompressible {
 		t.Fatalf("outcome %v", res.Outcome)
 	}
 	// A mildly cold incompressible page still fits tier1 (no compression
 	// there).
 	m.Touch(1, true)
-	m.Page(1).Clear(mem.FlagAccessed)
-	m.Page(1).Age = 5
+	m.ClearFlags(1, mem.FlagAccessed)
+	m.SetAge(1, 5)
 	if res := tp.Store(m, 1); res.Outcome != StoreOK {
 		t.Fatalf("tier1 should accept incompressible content: %v", res.Outcome)
 	}
@@ -165,11 +165,11 @@ func TestTieredCompactForwards(t *testing.T) {
 	tp, m := tieredFixture(50)
 	// Fill tier2 with deep-cold pages, promote most, then compact.
 	for i := 0; i < 60; i++ {
-		m.Page(mem.PageID(i)).Age = 100
+		m.SetAge(mem.PageID(i), 100)
 		tp.Store(m, mem.PageID(i))
 	}
 	for i := 0; i < 60; i++ {
-		if i%4 != 0 && m.Page(mem.PageID(i)).Has(mem.FlagCompressed) {
+		if i%4 != 0 && m.Flags(mem.PageID(i)).Has(mem.FlagCompressed) {
 			if _, err := tp.Load(m, mem.PageID(i)); err != nil {
 				t.Fatal(err)
 			}

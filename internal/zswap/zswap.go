@@ -114,8 +114,13 @@ type Pool struct {
 	stats         Stats
 	zeroResident  uint64 // zero-filled pages currently held
 
-	pageBuf []byte
-	compBuf []byte
+	// Reusable scratch: page synthesis, compression destination, and the
+	// validation-path decompression destination. Owned by the pool; only
+	// valid within one Store/Load call. Steady-state stores and loads
+	// therefore allocate nothing.
+	pageBuf   []byte
+	compBuf   []byte
+	decompBuf []byte
 }
 
 // zeroHandle marks a page stored via the same-filled optimization; it
@@ -172,11 +177,11 @@ var _ FarMemory = (*Pool)(nil)
 // resident and reclaimable; violations panic because only kreclaimd calls
 // Store and it filters eligibility first.
 func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
-	page := m.Page(id)
-	if !page.Reclaimable() {
-		panic(fmt.Sprintf("zswap: storing non-reclaimable page %d of %s (flags %b)", id, m.Name(), page.Flags))
+	if !m.Reclaimable(id) {
+		panic(fmt.Sprintf("zswap: storing non-reclaimable page %d of %s (flags %b)", id, m.Name(), m.Flags(id)))
 	}
-	pagedata.Generate(p.pageBuf, page.Class, page.Seed)
+	meta := m.Meta(id)
+	pagedata.Generate(p.pageBuf, meta.Class, meta.Seed)
 	if isZeroFilled(p.pageBuf) {
 		// Same-filled page: record it with no payload at negligible cost
 		// (the kernel memsets on fault instead of decompressing).
@@ -192,7 +197,7 @@ func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 	cpu := p.cost.CompressLatency(mem.PageSize)
 
 	if size > p.cutoff {
-		page.Set(mem.FlagIncompressible)
+		m.SetFlags(id, mem.FlagIncompressible)
 		cpu = p.cost.RejectLatency(mem.PageSize)
 		p.stats.RejectedPages++
 		p.stats.CompressCPU += cpu
@@ -231,13 +236,13 @@ func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 // Load resolves a promotion fault: it decompresses page id back into near
 // memory, frees the pool space, and returns the CPU/latency cost.
 func (p *Pool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
-	page := m.Page(id)
-	if !page.Has(mem.FlagCompressed) {
+	if !m.Flags(id).Has(mem.FlagCompressed) {
 		return LoadResult{}, fmt.Errorf("zswap: load of non-compressed page %d of %s", id, m.Name())
 	}
-	if page.Handle == zeroHandle {
+	meta := m.Meta(id)
+	if meta.Handle == zeroHandle {
 		if p.validate {
-			pagedata.Generate(p.pageBuf, page.Class, page.Seed)
+			pagedata.Generate(p.pageBuf, meta.Class, meta.Seed)
 			if !isZeroFilled(p.pageBuf) {
 				p.stats.ValidationErrs++
 				return LoadResult{}, fmt.Errorf("zswap: page %d stored as zero-filled but content is not zero", id)
@@ -251,24 +256,26 @@ func (p *Pool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
 		p.stats.DecompressCPU += cpu
 		return LoadResult{CPUTime: cpu, Latency: cpu}, nil
 	}
-	size := int(page.CompressedSize)
+	size := int(meta.CompressedSize)
+	handle := meta.Handle
 	if p.validate {
-		stored, err := p.arena.Get(page.Handle)
+		stored, err := p.arena.Get(handle)
 		if err != nil {
 			return LoadResult{}, fmt.Errorf("zswap: %v", err)
 		}
-		got, err := compress.Decompress(nil, stored, mem.PageSize)
+		got, err := compress.Decompress(p.decompBuf[:0], stored, mem.PageSize)
 		if err != nil {
 			p.stats.ValidationErrs++
 			return LoadResult{}, fmt.Errorf("zswap: corrupt payload for page %d: %v", id, err)
 		}
-		pagedata.Generate(p.pageBuf, page.Class, page.Seed)
+		p.decompBuf = got
+		pagedata.Generate(p.pageBuf, meta.Class, meta.Seed)
 		if !bytes.Equal(got, p.pageBuf) {
 			p.stats.ValidationErrs++
 			return LoadResult{}, fmt.Errorf("zswap: page %d content mismatch after decompression", id)
 		}
 	}
-	if err := p.arena.Free(page.Handle); err != nil {
+	if err := p.arena.Free(handle); err != nil {
 		return LoadResult{}, fmt.Errorf("zswap: %v", err)
 	}
 	m.MarkPromoted(id)
@@ -281,21 +288,21 @@ func (p *Pool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
 // Drop discards a compressed page without promoting it (used when a job
 // exits while holding far memory).
 func (p *Pool) Drop(m *mem.Memcg, id mem.PageID) error {
-	page := m.Page(id)
-	if !page.Has(mem.FlagCompressed) {
+	if !m.Flags(id).Has(mem.FlagCompressed) {
 		return fmt.Errorf("zswap: drop of non-compressed page %d", id)
 	}
-	if page.Handle == zeroHandle {
+	handle := m.Meta(id).Handle
+	if handle == zeroHandle {
 		p.zeroResident--
 		m.MarkPromoted(id)
-		page.Clear(mem.FlagAccessed)
+		m.ClearFlags(id, mem.FlagAccessed)
 		return nil
 	}
-	if err := p.arena.Free(page.Handle); err != nil {
+	if err := p.arena.Free(handle); err != nil {
 		return err
 	}
 	m.MarkPromoted(id)
-	page.Clear(mem.FlagAccessed)
+	m.ClearFlags(id, mem.FlagAccessed)
 	return nil
 }
 

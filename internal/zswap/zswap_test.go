@@ -59,23 +59,22 @@ func TestStoreRejectsIncompressible(t *testing.T) {
 	if res.Outcome != StoreRejectedIncompressible {
 		t.Fatalf("outcome = %v, want incompressible reject", res.Outcome)
 	}
-	page := m.Page(0)
-	if !page.Has(mem.FlagIncompressible) {
+	if !m.Flags(0).Has(mem.FlagIncompressible) {
 		t.Error("rejected page not marked incompressible")
 	}
-	if page.Has(mem.FlagCompressed) {
+	if m.Flags(0).Has(mem.FlagCompressed) {
 		t.Error("rejected page marked compressed")
 	}
 	if m.Resident() != 10 {
 		t.Error("rejected page left resident accounting")
 	}
 	// The incompressible mark makes the page ineligible for another try.
-	if page.Reclaimable() {
+	if m.Reclaimable(0) {
 		t.Error("incompressible page still reclaimable")
 	}
 	// A write clears the mark and re-enables compression attempts.
 	m.Touch(0, true)
-	if !m.Page(0).Reclaimable() {
+	if !m.Reclaimable(0) {
 		t.Error("dirtied page should be reclaimable again")
 	}
 }
@@ -94,7 +93,7 @@ func TestRejectCostsMoreThanStore(t *testing.T) {
 func TestStoreNonReclaimablePanics(t *testing.T) {
 	p := NewPool()
 	m := newMemcg(1, pagedata.DefaultMix)
-	m.Page(0).Set(mem.FlagMlocked)
+	m.SetFlags(0, mem.FlagMlocked)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("storing mlocked page did not panic")
@@ -179,7 +178,7 @@ func TestCompactAfterChurn(t *testing.T) {
 	// Promote most pages to create holes.
 	for i := 0; i < 500; i++ {
 		if i%5 != 0 {
-			if m.Page(mem.PageID(i)).Has(mem.FlagCompressed) {
+			if m.Flags(mem.PageID(i)).Has(mem.FlagCompressed) {
 				if _, err := p.Load(m, mem.PageID(i)); err != nil {
 					t.Fatal(err)
 				}
@@ -360,9 +359,9 @@ func TestZeroPageDirtiedRecompresses(t *testing.T) {
 	}
 	// Write: the seed changes, but the class is still zero, so content
 	// stays zero; flip the class to simulate real data landing there.
-	m.Page(0).Class = pagedata.ClassText
+	m.Meta(0).Class = pagedata.ClassText
 	m.Touch(0, true)
-	m.Page(0).Clear(mem.FlagAccessed)
+	m.ClearFlags(0, mem.FlagAccessed)
 	res := p.Store(m, 0)
 	if res.Outcome != StoreOK {
 		t.Fatalf("rewritten page outcome %v, want StoreOK", res.Outcome)
@@ -384,20 +383,19 @@ func TestPoolInvariantsQuick(t *testing.T) {
 		})
 		for _, op := range ops {
 			id := mem.PageID(op % 64)
-			page := m.Page(id)
 			switch op % 4 {
 			case 0:
-				if page.Reclaimable() {
+				if m.Reclaimable(id) {
 					p.Store(m, id)
 				}
 			case 1:
-				if page.Has(mem.FlagCompressed) {
+				if m.Flags(id).Has(mem.FlagCompressed) {
 					if _, err := p.Load(m, id); err != nil {
 						return false
 					}
 				}
 			case 2:
-				if page.Has(mem.FlagCompressed) {
+				if m.Flags(id).Has(mem.FlagCompressed) {
 					if err := p.Drop(m, id); err != nil {
 						return false
 					}
@@ -450,7 +448,7 @@ func TestLoadValidatedCorruptPayload(t *testing.T) {
 	}
 	// Corrupt the page's seed after storing: decompressed bytes will no
 	// longer match the regenerated content.
-	m.Page(0).Seed ^= 0xDEAD
+	m.Meta(0).Seed ^= 0xDEAD
 	if _, err := p.Load(m, 0); err == nil {
 		t.Fatal("content mismatch not detected")
 	}
