@@ -537,11 +537,15 @@ var benchColdStore = &sdfm.Archetype{
 // steady state: cold pages already in far memory, scans and reclaim
 // walks every period.
 func benchSteadyMachine(b *testing.B, jobs int) *sdfm.Machine {
+	return benchSteadyMachineAudit(b, jobs, sdfm.AuditConfig{})
+}
+
+func benchSteadyMachineAudit(b *testing.B, jobs int, auditCfg sdfm.AuditConfig) *sdfm.Machine {
 	b.Helper()
 	m, err := sdfm.NewMachine(sdfm.MachineConfig{
 		Name: "bench", Cluster: "bench", DRAMBytes: 4 << 30,
 		Mode: sdfm.ModeProactive, Params: sdfm.DefaultParams,
-		Seed: benchSeed,
+		Seed: benchSeed, Audit: auditCfg,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -575,6 +579,21 @@ func benchSteadyMachine(b *testing.B, jobs int) *sdfm.Machine {
 // reclaim, and telemetry.
 func BenchmarkMachineStep(b *testing.B) {
 	m := benchSteadyMachine(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineStepAudited is BenchmarkMachineStep with the full
+// cheap invariant catalogue running every step. The catalogue reads only
+// incrementally maintained counters and O(256) histograms, so the
+// audited step must stay within a few percent of the unaudited one —
+// compare the two benchmarks to hold that line.
+func BenchmarkMachineStepAudited(b *testing.B) {
+	m := benchSteadyMachineAudit(b, 2, sdfm.AuditConfig{Enabled: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.Step(); err != nil {

@@ -67,6 +67,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// LoadPlan validates, but keep the contract explicit for both the
+	// loaded and the built-in path: reject a bad plan before burning two
+	// fleet runs on it.
+	if err := plan.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	params := core.Params{K: *k, S: *warmup}
 	breaker := node.BreakerConfig{Enabled: true, TripViolations: 2, Cooldown: time.Hour}

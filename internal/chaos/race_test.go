@@ -1,0 +1,8 @@
+//go:build race
+
+package chaos
+
+// raceEnabled shrinks the chaos search's seed budget under the race
+// detector's ~15x slowdown; the search asserts invariants, not
+// concurrency, and still runs a handful of plans race-checked.
+const raceEnabled = true

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"fmt"
+
+	"sdfm/internal/fault"
+)
+
+// ShrinkResult is a minimized failing plan.
+type ShrinkResult struct {
+	// Plan is the minimal event list still reproducing the failure.
+	Plan *fault.Plan
+	// Report is the minimized plan's failing run.
+	Report Report
+	// Signature is the failure class both the original and minimized
+	// plans reproduce.
+	Signature string
+	// Trials is how many fleet runs the shrink spent (including the
+	// initial reproduction).
+	Trials int
+}
+
+// Shrink reduces a failing plan to a minimal reproducing event list with
+// ddmin-style delta debugging: repeatedly drop chunks of events, keep a
+// reduction whenever the remainder still fails with the same signature,
+// and refine the chunk granularity until no single chunk can be removed.
+// Each candidate costs one fleet run; maxTrials bounds the spend
+// (default 200). It returns an error when the plan does not fail at all
+// — nothing to shrink.
+func Shrink(plan *fault.Plan, fc FleetConfig, maxTrials int) (ShrinkResult, error) {
+	if maxTrials <= 0 {
+		maxTrials = 200
+	}
+	orig := Run(plan, fc)
+	trials := 1
+	if !orig.Failed() {
+		return ShrinkResult{}, fmt.Errorf("chaos: plan %q does not fail; nothing to shrink", plan.Name)
+	}
+	sig := orig.Signature()
+
+	events := plan.Events
+	best := orig
+	try := func(evs []fault.Event) (Report, bool) {
+		trials++
+		cand := &fault.Plan{Name: plan.Name + "-min", Seed: plan.Seed, Events: evs}
+		rep := Run(cand, fc)
+		return rep, rep.Failed() && rep.Signature() == sig
+	}
+
+	granularity := 2
+	for len(events) >= 2 && trials < maxTrials {
+		chunk := (len(events) + granularity - 1) / granularity
+		reduced := false
+		for lo := 0; lo < len(events) && trials < maxTrials; lo += chunk {
+			hi := lo + chunk
+			if hi > len(events) {
+				hi = len(events)
+			}
+			if hi-lo >= len(events) {
+				continue // never try the empty plan
+			}
+			cand := make([]fault.Event, 0, len(events)-(hi-lo))
+			cand = append(cand, events[:lo]...)
+			cand = append(cand, events[hi:]...)
+			if rep, ok := try(cand); ok {
+				events = cand
+				best = rep
+				if granularity > 2 {
+					granularity--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if granularity >= len(events) {
+				break // 1-minimal: no single event can be removed
+			}
+			granularity *= 2
+			if granularity > len(events) {
+				granularity = len(events)
+			}
+		}
+	}
+
+	return ShrinkResult{
+		Plan:      &fault.Plan{Name: plan.Name + "-min", Seed: plan.Seed, Events: events},
+		Report:    best,
+		Signature: sig,
+		Trials:    trials,
+	}, nil
+}

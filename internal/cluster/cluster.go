@@ -6,10 +6,12 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
 
+	"sdfm/internal/audit"
 	"sdfm/internal/core"
 	"sdfm/internal/fault"
 	"sdfm/internal/mem"
@@ -18,6 +20,7 @@ import (
 	"sdfm/internal/stats"
 	"sdfm/internal/telemetry"
 	"sdfm/internal/workload"
+	"sdfm/internal/zswap"
 )
 
 // Config describes a cluster.
@@ -48,6 +51,14 @@ type Config struct {
 	// Breaker configures the per-job promotion-SLO circuit breaker on
 	// every machine; disabled by default.
 	Breaker node.BreakerConfig
+	// Audit opts every machine into the invariant auditor; a violation
+	// fails the offending machine's step with an error wrapping
+	// audit.ErrViolation.
+	Audit audit.Config
+	// TierFn, when set, supplies machine i's far-memory tier instead of
+	// the default per-machine zswap pool. The chaos harness injects
+	// instrumented tiers this way; nil keeps the default.
+	TierFn func(machineIdx int) zswap.FarMemory
 }
 
 // Cluster is a set of machines under one scheduler.
@@ -72,6 +83,10 @@ func New(cfg Config) (*Cluster, error) {
 			mode = cfg.ModeFn(i)
 		}
 		name := fmt.Sprintf("m%04d", i)
+		var tier zswap.FarMemory
+		if cfg.TierFn != nil {
+			tier = cfg.TierFn(i)
+		}
 		m, err := node.NewMachine(node.Config{
 			Name:           name,
 			Cluster:        cfg.Name,
@@ -79,11 +94,13 @@ func New(cfg Config) (*Cluster, error) {
 			Mode:           mode,
 			Params:         cfg.Params,
 			SLO:            cfg.SLO,
+			Tier:           tier,
 			CollectSamples: cfg.CollectSamples,
 			Seed:           cfg.Seed + int64(i),
 			Collector:      cfg.Collector,
 			Injector:       fault.NewInjector(cfg.Faults, name),
 			Breaker:        cfg.Breaker,
+			Audit:          cfg.Audit,
 		})
 		if err != nil {
 			return nil, err
@@ -281,6 +298,28 @@ func (c *Cluster) FaultStats() node.FaultStats {
 		total.SlowedLoads += fs.SlowedLoads
 	}
 	return total
+}
+
+// Audit runs the invariant catalogue against every machine's current
+// state and returns all violations found, regardless of whether per-step
+// auditing is configured. deep includes the full-recount checks.
+func (c *Cluster) Audit(deep bool) []audit.Violation {
+	var vs []audit.Violation
+	for _, m := range c.machines {
+		vs = append(vs, m.Audit(deep)...)
+	}
+	return vs
+}
+
+// Fingerprint reduces every machine's observable state to one FNV-64a
+// hash. Two runs of the same seeded configuration must agree bit for
+// bit; the chaos harness uses this to detect nondeterminism.
+func (c *Cluster) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, m := range c.machines {
+		m.WriteFingerprint(h)
+	}
+	return h.Sum64()
 }
 
 // Group returns the machines currently in the given mode (A/B analysis).

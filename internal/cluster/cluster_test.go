@@ -1,12 +1,13 @@
 package cluster
 
 import (
-	"fmt"
 	"strings"
 	"testing"
 	"time"
 
+	"sdfm/internal/audit"
 	"sdfm/internal/core"
+	"sdfm/internal/fault"
 	"sdfm/internal/mem"
 	"sdfm/internal/node"
 	"sdfm/internal/workload"
@@ -222,20 +223,51 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 // can assert two runs are byte-identical with a readable diff.
 func machineFingerprint(m *node.Machine) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "machine %s now=%d evictions=%d limitKills=%d used=%d compressed=%d coldAtMin=%d\n",
-		m.Name(), m.Now(), m.Evictions(), m.LimitKills(), m.UsedBytes(), m.CompressedPages(), m.ColdPagesAtMin())
-	runs, stall := m.PressureEvents()
-	fmt.Fprintf(&sb, "pressure runs=%d stall=%d\n", runs, stall)
-	fmt.Fprintf(&sb, "faults %+v\n", m.FaultStats())
-	fmt.Fprintf(&sb, "pool %+v\n", m.Tier().Stats())
-	for _, j := range m.Jobs() {
-		fmt.Fprintf(&sb, "job %s state=%d prio=%d prom=%d storedPages=%d storedBytes=%d cpu=%d compress=%d decompress=%d stall=%d\n",
-			j.Memcg.Name(), j.State, j.Priority, j.Promotions, j.StoredPages, j.StoredBytes,
-			j.CPUUsed, j.CompressCPU, j.DecompressCPU, j.StallTime)
-		fmt.Fprintf(&sb, "memcg pages=%d resident=%d compressed=%d compressedBytes=%d usage=%d\n",
-			j.Memcg.NumPages(), j.Memcg.Resident(), j.Memcg.Compressed(), j.Memcg.CompressedBytes(), j.Memcg.UsageBytes())
-		fmt.Fprintf(&sb, "census %v\npromotions %v\nscans %d\n",
-			j.Tracker.Census().Counts(), j.Tracker.Promotions().Counts(), j.Tracker.Scans())
-	}
+	m.WriteFingerprint(&sb)
 	return sb.String()
+}
+
+// TestRunParallelAuditedMatchesSequential is the concurrent-audit
+// determinism guarantee: with the invariant auditor enabled on every
+// machine and a fault plan active, RunParallel must still produce
+// byte-identical state to the serial run — the auditor reads state and
+// advances only its own per-machine baseline, so worker scheduling
+// cannot leak into the simulation.
+func TestRunParallelAuditedMatchesSequential(t *testing.T) {
+	duration := 2 * time.Hour
+	build := func() *Cluster {
+		c := newCluster(t, Config{
+			Machines: 3, DRAMPerMachine: 2 * gib,
+			Mode: node.ModeProactive, Params: core.Params{K: 95, S: 10 * time.Minute},
+			Seed:    60,
+			Faults:  fault.DefaultPlan(60, duration),
+			Breaker: node.BreakerConfig{Enabled: true},
+			Audit:   audit.Config{Enabled: true, DeepEverySteps: 16},
+		})
+		if err := c.Populate(6, nil, 61); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	seq := build()
+	if err := seq.Run(duration); err != nil {
+		t.Fatal(err)
+	}
+	par := build()
+	if err := par.RunParallel(duration, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Machines() {
+		a, b := seq.Machines()[i], par.Machines()[i]
+		fa, fb := machineFingerprint(a), machineFingerprint(b)
+		if fa != fb {
+			t.Fatalf("machine %d state diverges between audited Run and RunParallel:\nseq:\n%s\npar:\n%s", i, fa, fb)
+		}
+	}
+	if seq.Fingerprint() != par.Fingerprint() {
+		t.Fatalf("cluster fingerprints diverge: %016x vs %016x", seq.Fingerprint(), par.Fingerprint())
+	}
+	if vs := par.Audit(true); len(vs) > 0 {
+		t.Fatalf("shipped tree violates invariants under the default plan: %v", vs)
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"sdfm/internal/audit"
 	"sdfm/internal/core"
 	"sdfm/internal/fault"
 	"sdfm/internal/node"
@@ -27,7 +28,9 @@ import (
 // The checked-in golden value was produced by the pre-SoA walk-based
 // simulator; the refactored simulator must reproduce it bit for bit
 // (same RNG draw order, same counters, same arena operation order).
-func goldenFingerprint(t *testing.T) string {
+// auditCfg lets the audited variant prove the invariant auditor is
+// observation-only: the hash must not move when it is enabled.
+func goldenFingerprint(t *testing.T, auditCfg audit.Config) string {
 	t.Helper()
 	const seed = 20
 	duration := 3 * time.Hour
@@ -54,6 +57,7 @@ func goldenFingerprint(t *testing.T) string {
 		Collector: telemetry.NewCollector(trace),
 		Faults:    fault.DefaultPlan(seed, duration),
 		Breaker:   node.BreakerConfig{Enabled: true},
+		Audit:     auditCfg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,22 +77,7 @@ func goldenFingerprint(t *testing.T) string {
 	h.Write(buf.Bytes())
 
 	for _, m := range c.Machines() {
-		fmt.Fprintf(h, "machine %s now=%d evictions=%d limitKills=%d used=%d compressed=%d coldAtMin=%d\n",
-			m.Name(), m.Now(), m.Evictions(), m.LimitKills(), m.UsedBytes(), m.CompressedPages(), m.ColdPagesAtMin())
-		runs, stall := m.PressureEvents()
-		fmt.Fprintf(h, "pressure runs=%d stall=%d\n", runs, stall)
-		fmt.Fprintf(h, "faults %+v\n", m.FaultStats())
-		fmt.Fprintf(h, "pool %+v\n", m.Tier().Stats())
-		for _, j := range m.Jobs() {
-			fmt.Fprintf(h, "job %s state=%d prio=%d prom=%d storedPages=%d storedBytes=%d cpu=%d compress=%d decompress=%d stall=%d\n",
-				j.Memcg.Name(), j.State, j.Priority, j.Promotions, j.StoredPages, j.StoredBytes,
-				j.CPUUsed, j.CompressCPU, j.DecompressCPU, j.StallTime)
-			fmt.Fprintf(h, "memcg pages=%d resident=%d compressed=%d compressedBytes=%d usage=%d\n",
-				j.Memcg.NumPages(), j.Memcg.Resident(), j.Memcg.Compressed(), j.Memcg.CompressedBytes(), j.Memcg.UsageBytes())
-			census := j.Tracker.Census().Counts()
-			promos := j.Tracker.Promotions().Counts()
-			fmt.Fprintf(h, "census %v\npromotions %v\nscans %d\n", census, promos, j.Tracker.Scans())
-		}
+		m.WriteFingerprint(h)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -100,7 +89,7 @@ func TestGoldenClusterEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden 20-machine run skipped in -short mode")
 	}
-	got := goldenFingerprint(t)
+	got := goldenFingerprint(t, audit.Config{})
 	path := filepath.Join("testdata", "golden_cluster.txt")
 	if os.Getenv("SDFM_UPDATE_GOLDEN") != "" {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -120,5 +109,29 @@ func TestGoldenClusterEquivalence(t *testing.T) {
 		t.Fatalf("cluster fingerprint diverged from the walk-based simulator:\n got %s\nwant %s\n"+
 			"The page-store refactor must stay bit-identical (same RNG draw order, same counters).",
 			got, strings.TrimSpace(string(want)))
+	}
+}
+
+// TestGoldenClusterEquivalenceAudited reruns the golden cluster with the
+// invariant auditor enabled (deep recounts every 8 steps) and asserts
+// the checked-in hash exactly: auditing must observe without perturbing
+// — no extra RNG draws, no counter movement — and the shipped tree must
+// hold every invariant under the default fault plan for the whole run
+// (a violation would fail Run before the hash is taken).
+func TestGoldenClusterEquivalenceAudited(t *testing.T) {
+	if raceEnabled {
+		t.Skip("golden 20-machine run is too slow under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("golden 20-machine run skipped in -short mode")
+	}
+	got := goldenFingerprint(t, audit.Config{Enabled: true, DeepEverySteps: 8})
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_cluster.txt"))
+	if err != nil {
+		t.Fatalf("reading golden (run with SDFM_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Fatalf("enabling the auditor changed the simulation:\n got %s\nwant %s\n"+
+			"The audit hook must be observation-only.", got, strings.TrimSpace(string(want)))
 	}
 }

@@ -18,6 +18,7 @@ package fault
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -25,6 +26,24 @@ import (
 	"time"
 
 	"sdfm/internal/simtime"
+)
+
+// Sentinel validation errors. Event.Validate and Plan.Validate wrap these
+// so callers (cmd/faultsim, cmd/chaos) can classify a rejection with
+// errors.Is instead of string-matching.
+var (
+	// ErrUnknownKind rejects a kind outside the catalogue.
+	ErrUnknownKind = errors.New("fault: unknown kind")
+	// ErrBadTime rejects a negative or overflowing event time.
+	ErrBadTime = errors.New("fault: event time out of range")
+	// ErrBadDuration rejects a negative, zero-on-windowed, or overflowing
+	// duration.
+	ErrBadDuration = errors.New("fault: event duration out of range")
+	// ErrBadMagnitude rejects a magnitude outside the kind's legal range.
+	ErrBadMagnitude = errors.New("fault: magnitude out of range")
+	// ErrDurationOnInstant rejects a duration on an instant kind
+	// (MachineCrash, ChurnBurst), which would silently be ignored.
+	ErrDurationOnInstant = errors.New("fault: duration on instant kind")
 )
 
 // Kind enumerates injectable fault classes.
@@ -123,36 +142,44 @@ func (e Event) instant() bool {
 	return e.Kind == MachineCrash || e.Kind == ChurnBurst
 }
 
-// Validate checks one event.
+// Validate checks one event, wrapping the package's sentinel errors.
 func (e Event) Validate() error {
 	if _, ok := kindNames[e.Kind]; !ok {
-		return fmt.Errorf("fault: unknown kind %d", int(e.Kind))
+		return fmt.Errorf("%w %d", ErrUnknownKind, int(e.Kind))
 	}
 	if e.At < 0 {
-		return fmt.Errorf("fault: %s event at negative time %v", e.Kind, e.At)
+		return fmt.Errorf("%w: %s event at negative time %v", ErrBadTime, e.Kind, e.At)
 	}
 	if e.Duration < 0 {
-		return fmt.Errorf("fault: %s event with negative duration %v", e.Kind, e.Duration)
+		return fmt.Errorf("%w: %s event with negative duration %v", ErrBadDuration, e.Kind, e.Duration)
 	}
-	if !e.instant() && e.Duration == 0 {
-		return fmt.Errorf("fault: windowed %s event with zero duration", e.Kind)
+	if e.instant() && e.Duration != 0 {
+		return fmt.Errorf("%w: %s event with duration %v", ErrDurationOnInstant, e.Kind, e.Duration)
+	}
+	if !e.instant() {
+		if e.Duration == 0 {
+			return fmt.Errorf("%w: windowed %s event with zero duration", ErrBadDuration, e.Kind)
+		}
+		if end := e.At + e.Duration; end < e.At {
+			return fmt.Errorf("%w: %s window end %v+%v overflows", ErrBadTime, e.Kind, e.At, e.Duration)
+		}
 	}
 	switch e.Kind {
 	case CompressorError:
 		if e.Magnitude <= 0 || e.Magnitude > 1 {
-			return fmt.Errorf("fault: compressor-error probability %v outside (0, 1]", e.Magnitude)
+			return fmt.Errorf("%w: compressor-error probability %v outside (0, 1]", ErrBadMagnitude, e.Magnitude)
 		}
 	case CompressorSlowdown:
 		if e.Magnitude < 1 {
-			return fmt.Errorf("fault: compressor-slowdown factor %v below 1", e.Magnitude)
+			return fmt.Errorf("%w: compressor-slowdown factor %v below 1", ErrBadMagnitude, e.Magnitude)
 		}
 	case PressureSpike:
 		if e.Magnitude <= 0 || e.Magnitude >= 1 {
-			return fmt.Errorf("fault: pressure-spike fraction %v outside (0, 1)", e.Magnitude)
+			return fmt.Errorf("%w: pressure-spike fraction %v outside (0, 1)", ErrBadMagnitude, e.Magnitude)
 		}
 	case ChurnBurst:
 		if e.Magnitude <= 0 || e.Magnitude > 1 {
-			return fmt.Errorf("fault: churn-burst fraction %v outside (0, 1]", e.Magnitude)
+			return fmt.Errorf("%w: churn-burst fraction %v outside (0, 1]", ErrBadMagnitude, e.Magnitude)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -47,6 +48,48 @@ func TestPlanValidateRejects(t *testing.T) {
 		if err := p.Validate(); err == nil {
 			t.Errorf("%s: accepted %+v", c.name, c.ev)
 		}
+	}
+}
+
+// TestValidateSentinels: every rejection class wraps its sentinel so
+// callers (cmd/chaos, cmd/faultsim, tests) can classify with errors.Is
+// instead of string matching.
+func TestValidateSentinels(t *testing.T) {
+	w := time.Minute
+	cases := []struct {
+		name string
+		ev   Event
+		want error
+	}{
+		{"unknown kind", Event{Kind: Kind(99), At: time.Hour}, ErrUnknownKind},
+		{"negative at", Event{Kind: MachineCrash, At: -time.Second}, ErrBadTime},
+		{"overflowing window", Event{Kind: TelemetryDrop, At: 1 << 62, Duration: 1 << 62}, ErrBadTime},
+		{"negative duration", Event{Kind: TelemetryDrop, At: time.Hour, Duration: -w}, ErrBadDuration},
+		{"windowed without duration", Event{Kind: DaemonStall, At: time.Hour}, ErrBadDuration},
+		{"duration on crash", Event{Kind: MachineCrash, At: time.Hour, Duration: w}, ErrDurationOnInstant},
+		{"duration on churn", Event{Kind: ChurnBurst, At: time.Hour, Duration: w, Magnitude: 0.5}, ErrDurationOnInstant},
+		{"error prob over 1", Event{Kind: CompressorError, At: time.Hour, Duration: w, Magnitude: 1.5}, ErrBadMagnitude},
+		{"slowdown under 1", Event{Kind: CompressorSlowdown, At: time.Hour, Duration: w, Magnitude: 0.5}, ErrBadMagnitude},
+		{"pressure full dram", Event{Kind: PressureSpike, At: time.Hour, Duration: w, Magnitude: 1}, ErrBadMagnitude},
+		{"churn zero", Event{Kind: ChurnBurst, At: time.Hour}, ErrBadMagnitude},
+	}
+	for _, c := range cases {
+		p := &Plan{Name: "x", Events: []Event{c.ev}}
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted %+v", c.name, c.ev)
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: error %q does not wrap %q", c.name, err, c.want)
+		}
+		if !strings.Contains(err.Error(), `"x"`) || !strings.Contains(err.Error(), "event 0") {
+			t.Errorf("%s: error %q lost plan/event context", c.name, err)
+		}
+	}
+	// Valid plans — including every generated default plan — pass.
+	if err := DefaultPlan(3, 6*time.Hour).Validate(); err != nil {
+		t.Fatalf("default plan invalid: %v", err)
 	}
 }
 

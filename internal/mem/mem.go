@@ -604,6 +604,12 @@ func (m *Memcg) ResetAges() {
 // memcg's far-memory pages, maintained incrementally.
 func (m *Memcg) CompressedBytes() uint64 { return m.compressedBytes }
 
+// CompressedAgeCounts returns the per-age histogram of the compressed
+// cohort: CompressedAgeCounts()[a] compressed pages are currently at age
+// a. Its sum equals Compressed(), and it is bounded bucket-wise by
+// AgeCounts() — the invariant auditor checks both.
+func (m *Memcg) CompressedAgeCounts() [NumAges]uint64 { return m.compressedAges }
+
 // VerifyIndexes recounts every index and accounting field from the raw
 // columns and reports the first mismatch; nil means all invariants hold.
 // It exists for tests and costs a full walk.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"sdfm/internal/audit"
 	"sdfm/internal/core"
 	"sdfm/internal/fault"
 	"sdfm/internal/histogram"
@@ -169,6 +170,12 @@ type Config struct {
 	// Breaker configures the per-job promotion-SLO circuit breaker;
 	// disabled by default.
 	Breaker BreakerConfig
+	// Audit opts the machine into the invariant auditor: the catalogue in
+	// internal/audit runs against live state at the end of each step (at
+	// the configured cadence) and a violation fails the step with an
+	// error wrapping audit.ErrViolation. Disabled by default; when
+	// disabled the cost is one branch per step.
+	Audit audit.Config
 }
 
 // Machine is one simulated production machine.
@@ -203,6 +210,11 @@ type Machine struct {
 
 	// dropIDs is the reusable compressed-set buffer for releaseFarMemory.
 	dropIDs []mem.PageID
+
+	// Invariant-audit state (see audit.go).
+	auditEvery     uint64
+	auditDeepEvery uint64
+	auditprev      auditPrev
 }
 
 // NewMachine builds a machine.
@@ -241,9 +253,18 @@ func NewMachine(cfg Config) (*Machine, error) {
 		scanPeriod:  cfg.ScanPeriod,
 		exportEvery: telemetry.DefaultAggregation,
 		inj:         cfg.Injector,
+		auditEvery:  cfg.Audit.Interval(),
+	}
+	if cfg.Audit.DeepEverySteps > 0 {
+		m.auditDeepEvery = uint64(cfg.Audit.DeepEverySteps)
 	}
 	if zp, ok := tier.(*zswap.Pool); ok {
 		m.zswapPool = zp
+	}
+	// Time-aware tiers (chaos test instrumentation, latency-sensitive
+	// device models) learn the machine clock.
+	if tn, ok := tier.(interface{ SetNow(func() time.Duration) }); ok {
+		tn.SetNow(func() time.Duration { return m.now })
 	}
 	if cfg.Injector != nil {
 		// Compressor faults are injected between the control plane and
@@ -553,6 +574,15 @@ func (m *Machine) Step() error {
 		}
 		m.lastExport = m.now
 	}
+
+	// 7. Invariant audit (opt-in). Read-only against simulation state, so
+	// behaviour with auditing on is byte-identical to auditing off.
+	if m.cfg.Audit.Enabled && m.scans%m.auditEvery == 0 {
+		deep := m.auditDeepEvery > 0 && m.scans%m.auditDeepEvery == 0
+		if vs := m.Audit(deep); len(vs) > 0 {
+			return &audit.Error{Violations: vs}
+		}
+	}
 	return nil
 }
 
@@ -602,6 +632,9 @@ func (m *Machine) crash() error {
 		j.breakerConsec = 0
 		j.backoffSteps = 0
 		j.breakerOpen = false
+		// A closed breaker must carry no stale reopen deadline; the next
+		// trip sets a fresh one (state-machine legality, see audit.go).
+		j.breakerReopenAt = 0
 		if m.cfg.Collector != nil {
 			// The restarted job's cumulative promotion counters reset;
 			// the collector must not see them "go backwards".

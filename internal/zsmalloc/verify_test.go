@@ -1,0 +1,86 @@
+package zsmalloc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// exerciseArena drives an arena through a churny alloc/free/compact mix
+// and returns the live handles.
+func exerciseArena(t *testing.T, a *Arena) []Handle {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	var live []Handle
+	for i := 0; i < 600; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			if err := a.Free(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		h, err := a.Alloc(1+rng.Intn(MaxObjectSize), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, h)
+	}
+	a.Compact()
+	return live
+}
+
+func TestVerifyCleanArena(t *testing.T) {
+	a := New()
+	if err := a.Verify(); err != nil {
+		t.Fatalf("empty arena: %v", err)
+	}
+	live := exerciseArena(t, a)
+	if err := a.Verify(); err != nil {
+		t.Fatalf("exercised arena: %v", err)
+	}
+	for _, h := range live {
+		if err := a.Free(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatalf("drained arena: %v", err)
+	}
+}
+
+// TestVerifyCatchesCorruption: doctoring each O(1) counter behind the
+// recount's back must fail the full-walk verification.
+func TestVerifyCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Arena)
+		want    string
+	}{
+		{"object count", func(a *Arena) { a.objects++ }, "object"},
+		{"payload bytes", func(a *Arena) { a.payloadBytes-- }, "payload"},
+		{"slot bytes", func(a *Arena) { a.slotBytes++ }, "slot"},
+		{"zspage count", func(a *Arena) { a.zspages++ }, "zspage"},
+		{"location table", func(a *Arena) {
+			for h, loc := range a.locations {
+				loc.slot++
+				a.locations[h] = loc
+				break
+			}
+		}, "handle"},
+	}
+	for _, c := range cases {
+		a := New()
+		exerciseArena(t, a)
+		c.corrupt(a)
+		err := a.Verify()
+		if err == nil {
+			t.Errorf("%s corruption not caught", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

@@ -393,6 +393,61 @@ func (s Stats) Fragmentation() float64 {
 	return 1 - float64(s.PayloadBytes)/float64(s.PhysicalBytes)
 }
 
+// Verify recounts the arena's accounting from its zspage lists and
+// handle table and reports the first divergence from the incrementally
+// maintained stats; nil means class lists, slot occupancy, the location
+// map, and the O(1) counters all agree. It costs a full arena walk and
+// exists for the invariant auditor's deep checks.
+func (a *Arena) Verify() error {
+	var objects, zspages int
+	var payloadBytes, slotBytes uint64
+	for class, list := range a.classes {
+		for _, zp := range list {
+			if zp.released {
+				return fmt.Errorf("zsmalloc: class %d lists released zspage %d", class, zp.id)
+			}
+			if zp.class != class {
+				return fmt.Errorf("zsmalloc: zspage %d filed under class %d, built for class %d", zp.id, class, zp.class)
+			}
+			zspages++
+			used := 0
+			for slot, h := range zp.slots {
+				if h == InvalidHandle {
+					if zp.sizes[slot] != 0 {
+						return fmt.Errorf("zsmalloc: zspage %d free slot %d has size %d", zp.id, slot, zp.sizes[slot])
+					}
+					continue
+				}
+				used++
+				objects++
+				payloadBytes += uint64(zp.sizes[slot])
+				slotBytes += uint64(zp.slotSize)
+				loc, ok := a.locations[h]
+				if !ok {
+					return fmt.Errorf("zsmalloc: stored handle %d missing from location table", h)
+				}
+				if loc.zspage != zp || loc.slot != slot || loc.class != class {
+					return fmt.Errorf("zsmalloc: handle %d location table disagrees with zspage %d slot %d", h, zp.id, slot)
+				}
+			}
+			if used != zp.used {
+				return fmt.Errorf("zsmalloc: zspage %d used=%d, recount %d", zp.id, zp.used, used)
+			}
+		}
+	}
+	if len(a.locations) != objects {
+		return fmt.Errorf("zsmalloc: location table holds %d handles, recount %d", len(a.locations), objects)
+	}
+	if objects != a.objects || zspages != a.zspages {
+		return fmt.Errorf("zsmalloc: objects/zspages = %d/%d, recount %d/%d", a.objects, a.zspages, objects, zspages)
+	}
+	if payloadBytes != a.payloadBytes || slotBytes != a.slotBytes {
+		return fmt.Errorf("zsmalloc: payload/slot bytes = %d/%d, recount %d/%d",
+			a.payloadBytes, a.slotBytes, payloadBytes, slotBytes)
+	}
+	return nil
+}
+
 // Stats returns current accounting. All fields are maintained
 // incrementally, so this is O(1) — zswap's per-store capacity check
 // depends on that.

@@ -334,6 +334,15 @@ func isZeroFilled(b []byte) bool {
 	return true
 }
 
+// ZeroResident returns how many zero-filled pages the pool currently
+// holds via the same-filled optimization. They occupy no arena space, so
+// page-level conservation is Objects + ZeroResident == compressed pages.
+func (p *Pool) ZeroResident() uint64 { return p.zeroResident }
+
+// VerifyArena recounts the backing arena's accounting from its zspage
+// lists (see zsmalloc.Arena.Verify). Full walk; deep-audit use only.
+func (p *Pool) VerifyArena() error { return p.arena.Verify() }
+
 // Stats returns cumulative pool statistics.
 func (p *Pool) Stats() Stats { return p.stats }
 

@@ -31,6 +31,7 @@ import (
 	"io"
 	"time"
 
+	"sdfm/internal/audit"
 	"sdfm/internal/cluster"
 	"sdfm/internal/core"
 	"sdfm/internal/fault"
@@ -374,6 +375,29 @@ func NewFaultInjector(p *FaultPlan, machine string) *FaultInjector {
 func ApplyFaultsToTrace(p *FaultPlan, trace *Trace) TraceDamage {
 	return fault.ApplyToTrace(p, trace)
 }
+
+// Invariant auditing (the correctness instrument behind the paper's
+// production-trust claims; see internal/audit and internal/chaos).
+type (
+	// AuditConfig opts a machine or cluster into per-step invariant
+	// auditing: byte conservation, histogram sums, zswap/zsmalloc
+	// accounting reconciliation, breaker and watchdog state legality,
+	// and counter monotonicity across restarts. The zero value is
+	// disabled and costs one branch per step. Set on MachineConfig.Audit
+	// or ClusterConfig.Audit.
+	AuditConfig = audit.Config
+	// AuditViolation is one invariant breach, attributed to a machine
+	// and (when applicable) a job.
+	AuditViolation = audit.Violation
+	// AuditError carries the violations that failed an audited step; it
+	// wraps ErrAuditViolation.
+	AuditError = audit.Error
+)
+
+// ErrAuditViolation is the sentinel every audit failure wraps; branch
+// with errors.Is to separate invariant breaches from ordinary
+// simulation errors.
+var ErrAuditViolation = audit.ErrViolation
 
 // Staged rollout (§5.3's multi-stage deployment with monitoring).
 type (
