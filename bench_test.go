@@ -537,15 +537,19 @@ var benchColdStore = &sdfm.Archetype{
 // steady state: cold pages already in far memory, scans and reclaim
 // walks every period.
 func benchSteadyMachine(b *testing.B, jobs int) *sdfm.Machine {
-	return benchSteadyMachineAudit(b, jobs, sdfm.AuditConfig{})
+	return benchSteadyMachineCfg(b, jobs, sdfm.AuditConfig{}, nil)
 }
 
 func benchSteadyMachineAudit(b *testing.B, jobs int, auditCfg sdfm.AuditConfig) *sdfm.Machine {
+	return benchSteadyMachineCfg(b, jobs, auditCfg, nil)
+}
+
+func benchSteadyMachineCfg(b *testing.B, jobs int, auditCfg sdfm.AuditConfig, o *sdfm.Observer) *sdfm.Machine {
 	b.Helper()
 	m, err := sdfm.NewMachine(sdfm.MachineConfig{
 		Name: "bench", Cluster: "bench", DRAMBytes: 4 << 30,
 		Mode: sdfm.ModeProactive, Params: sdfm.DefaultParams,
-		Seed: benchSeed, Audit: auditCfg,
+		Seed: benchSeed, Audit: auditCfg, Obs: o,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -594,6 +598,23 @@ func BenchmarkMachineStep(b *testing.B) {
 // compare the two benchmarks to hold that line.
 func BenchmarkMachineStepAudited(b *testing.B) {
 	m := benchSteadyMachineAudit(b, 2, sdfm.AuditConfig{Enabled: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineStepInstrumented is BenchmarkMachineStep with the full
+// metrics and tracing layer attached: per-step counter deltas, gauges,
+// the promotion-latency histogram, and phase spans. Instrumentation
+// reads counters the step already maintains, so the instrumented step
+// must stay within a few percent of the bare one — compare against
+// BenchmarkMachineStep to hold that line.
+func BenchmarkMachineStepInstrumented(b *testing.B) {
+	hub := sdfm.NewObs(sdfm.ObsLabel{Key: "run", Value: "bench"})
+	m := benchSteadyMachineCfg(b, 2, sdfm.AuditConfig{}, hub.Observer("bench"))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.Step(); err != nil {

@@ -20,8 +20,17 @@ func main() {
 		in         = flag.String("trace", "", "trace file from tracegen, any format — store, gob, or json, auto-detected (empty: synthesize one)")
 		iterations = flag.Int("iterations", 15, "GP-bandit iterations")
 		seed       = flag.Int64("seed", 1, "random seed")
+		metricsOut = flag.String("metricsout", "", "write Prometheus metrics for the tuning run to this file")
+		traceOut   = flag.String("traceout", "", "write a Chrome trace_event JSON of the search timeline to this file")
 	)
 	flag.Parse()
+
+	var multi *sdfm.Obs
+	var observer *sdfm.Observer
+	if *metricsOut != "" || *traceOut != "" {
+		multi = sdfm.NewObs(sdfm.ObsLabel{Key: "run", Value: "autotune"})
+		observer = multi.Observer("autotune")
+	}
 
 	var (
 		ct      *sdfm.CompiledTrace
@@ -72,7 +81,7 @@ func main() {
 
 	start := time.Now()
 	res, err := sdfm.Autotune(obj, sdfm.TunerConfig{
-		SLO: sdfm.DefaultSLO, Seed: *seed, Iterations: *iterations,
+		SLO: sdfm.DefaultSLO, Seed: *seed, Iterations: *iterations, Obs: observer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -103,4 +112,8 @@ func main() {
 	}
 	fmt.Printf("\ndeployment: accepted=%v chosen=K=%.1f,S=%s (%s)\n",
 		dec.Accepted, dec.Chosen.K, dec.Chosen.S, dec.Reason)
+
+	if err := multi.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"sdfm/internal/fault"
 	"sdfm/internal/model"
 	"sdfm/internal/node"
+	"sdfm/internal/obs"
 	"sdfm/internal/stats"
 	"sdfm/internal/telemetry"
 	"sdfm/internal/tracestore"
@@ -28,15 +29,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("faultsim: ")
 	var (
-		machines  = flag.Int("machines", 3, "number of machines")
-		jobs      = flag.Int("jobs", 9, "total jobs to schedule")
-		hours     = flag.Float64("hours", 6, "simulated hours")
-		k         = flag.Float64("k", 75, "K percentile parameter")
-		warmup    = flag.Duration("s", 5*time.Minute, "S warmup parameter")
-		seed      = flag.Int64("seed", 1, "random seed")
-		planPath  = flag.String("plan", "", "fault plan JSON (default: the built-in default plan)")
-		writePlan = flag.String("writeplan", "", "write the default fault plan JSON to this path and exit")
-		saveTrace = flag.String("savetrace", "", "write the baseline and faulted telemetry as <prefix>-{baseline,faulted}.trace store files")
+		machines   = flag.Int("machines", 3, "number of machines")
+		jobs       = flag.Int("jobs", 9, "total jobs to schedule")
+		hours      = flag.Float64("hours", 6, "simulated hours")
+		k          = flag.Float64("k", 75, "K percentile parameter")
+		warmup     = flag.Duration("s", 5*time.Minute, "S warmup parameter")
+		seed       = flag.Int64("seed", 1, "random seed")
+		planPath   = flag.String("plan", "", "fault plan JSON (default: the built-in default plan)")
+		writePlan  = flag.String("writeplan", "", "write the default fault plan JSON to this path and exit")
+		saveTrace  = flag.String("savetrace", "", "write the baseline and faulted telemetry as <prefix>-{baseline,faulted}.trace store files")
+		metricsOut = flag.String("metricsout", "", "write Prometheus metrics for both runs (labelled run=baseline / run=<plan>) to this file")
+		traceOut   = flag.String("traceout", "", "write a Chrome trace_event JSON file covering both runs")
 	)
 	flag.Parse()
 	duration := time.Duration(*hours * float64(time.Hour))
@@ -79,12 +82,24 @@ func main() {
 
 	fmt.Printf("plan %q: %d events over %v\n\n", plan.Name, len(plan.Events), duration)
 
-	base, err := runFleet("baseline", nil, breaker, params, *machines, *jobs, *seed, duration)
+	// Each run gets its own hub, labelled run=<name>, so both exports can
+	// merge into one file with distinguishable series (cluster and machine
+	// names stay identical across runs — they key telemetry JobKeys).
+	var baseObs, faultObs *obs.Multi
+	if *metricsOut != "" || *traceOut != "" {
+		baseObs = obs.NewMulti(obs.Label{Key: "run", Value: "baseline"})
+		faultObs = obs.NewMulti(obs.Label{Key: "run", Value: plan.Name})
+	}
+
+	base, err := runFleet("baseline", nil, breaker, params, *machines, *jobs, *seed, duration, baseObs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	faulted, err := runFleet(plan.Name, plan, breaker, params, *machines, *jobs, *seed, duration)
+	faulted, err := runFleet(plan.Name, plan, breaker, params, *machines, *jobs, *seed, duration, faultObs)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.Merge(baseObs, faultObs).WriteFiles(*metricsOut, *traceOut); err != nil {
 		log.Fatal(err)
 	}
 
@@ -197,7 +212,7 @@ type fleetRun struct {
 }
 
 func runFleet(label string, plan *fault.Plan, breaker node.BreakerConfig, params core.Params,
-	machines, jobs int, seed int64, duration time.Duration) (fleetRun, error) {
+	machines, jobs int, seed int64, duration time.Duration, hub *obs.Multi) (fleetRun, error) {
 
 	trace := telemetry.NewTrace()
 	c, err := cluster.New(cluster.Config{
@@ -212,6 +227,7 @@ func runFleet(label string, plan *fault.Plan, breaker node.BreakerConfig, params
 		Collector:      telemetry.NewCollector(trace),
 		Faults:         plan,
 		Breaker:        breaker,
+		Obs:            hub,
 	})
 	if err != nil {
 		return fleetRun{}, err

@@ -21,14 +21,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fleetsim: ")
 	var (
-		machines = flag.Int("machines", 4, "number of machines")
-		jobs     = flag.Int("jobs", 12, "total jobs to schedule")
-		hours    = flag.Float64("hours", 8, "simulated hours")
-		k        = flag.Float64("k", 95, "K percentile parameter")
-		warmup   = flag.Duration("s", 10*time.Minute, "S warmup parameter")
-		seed     = flag.Int64("seed", 1, "random seed")
-		mode     = flag.String("mode", "proactive", "far-memory mode: proactive, reactive, disabled")
-		serve    = flag.String("serve", "", "after the run, serve node-agent status pages at this address (e.g. :8080)")
+		machines   = flag.Int("machines", 4, "number of machines")
+		jobs       = flag.Int("jobs", 12, "total jobs to schedule")
+		hours      = flag.Float64("hours", 8, "simulated hours")
+		k          = flag.Float64("k", 95, "K percentile parameter")
+		warmup     = flag.Duration("s", 10*time.Minute, "S warmup parameter")
+		seed       = flag.Int64("seed", 1, "random seed")
+		mode       = flag.String("mode", "proactive", "far-memory mode: proactive, reactive, disabled")
+		serve      = flag.String("serve", "", "after the run, serve node-agent status pages at this address (e.g. :8080)")
+		metricsOut = flag.String("metricsout", "", "write Prometheus metrics to this file at exit")
+		traceOut   = flag.String("traceout", "", "write a Chrome trace_event JSON file at exit (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,10 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
+	var multi *sdfm.Obs
+	if *metricsOut != "" || *traceOut != "" {
+		multi = sdfm.NewObs(sdfm.ObsLabel{Key: "run", Value: "fleetsim"})
+	}
 	c, err := sdfm.NewCluster(sdfm.ClusterConfig{
 		Name:           "fleetsim",
 		Machines:       *machines,
@@ -52,6 +58,7 @@ func main() {
 		Params:         sdfm.Params{K: *k, S: *warmup},
 		CollectSamples: true,
 		Seed:           *seed,
+		Obs:            multi,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -102,6 +109,16 @@ func main() {
 		fmt.Printf("promotion rate: p50 %.4f%%/min, p98 %.4f%%/min (SLO %.4f%%/min)\n",
 			stats.Percentile(rates, 50)*100, stats.Percentile(rates, 98)*100,
 			sdfm.DefaultSLO.TargetRatePerMin*100)
+	}
+
+	if err := multi.WriteFiles(*metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+	if *metricsOut != "" {
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		fmt.Printf("wrote trace to %s\n", *traceOut)
 	}
 
 	if *serve != "" {

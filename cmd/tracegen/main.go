@@ -24,16 +24,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	var (
-		out      = flag.String("o", "fleet.trace", "output file")
-		clusters = flag.Int("clusters", 4, "number of clusters")
-		machines = flag.Int("machines", 20, "machines per cluster")
-		jobs     = flag.Int("jobs", 6, "job slots per machine")
-		hours    = flag.Float64("hours", 48, "trace duration in hours")
-		seed     = flag.Int64("seed", 1, "random seed")
-		format   = flag.String("format", "store", "output format: store (chunked columnar, streamed), gob (legacy), or json (interoperable)")
-		stats    = flag.Bool("stats", false, "print trace statistics instead of writing a file")
+		out        = flag.String("o", "fleet.trace", "output file")
+		clusters   = flag.Int("clusters", 4, "number of clusters")
+		machines   = flag.Int("machines", 20, "machines per cluster")
+		jobs       = flag.Int("jobs", 6, "job slots per machine")
+		hours      = flag.Float64("hours", 48, "trace duration in hours")
+		seed       = flag.Int64("seed", 1, "random seed")
+		format     = flag.String("format", "store", "output format: store (chunked columnar, streamed), gob (legacy), or json (interoperable)")
+		stats      = flag.Bool("stats", false, "print trace statistics instead of writing a file")
+		metricsOut = flag.String("metricsout", "", "write Prometheus metrics for the generation run to this file")
 	)
 	flag.Parse()
+
+	var multi *sdfm.Obs
+	var observer *sdfm.Observer
+	if *metricsOut != "" {
+		multi = sdfm.NewObs(sdfm.ObsLabel{Key: "run", Value: "tracegen"})
+		observer = multi.Observer("tracegen")
+	}
 
 	cfg := sdfm.FleetConfig{
 		Clusters:           *clusters,
@@ -41,6 +49,7 @@ func main() {
 		JobsPerMachine:     *jobs,
 		Duration:           time.Duration(*hours * float64(time.Hour)),
 		Seed:               *seed,
+		Obs:                observer,
 	}
 
 	if *stats {
@@ -95,6 +104,9 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%s): %d entries, %d jobs, %d clusters x %d machines, %.0f h\n",
 		*out, *format, entries, jobCount, *clusters, *machines, *hours)
+	if err := multi.WriteFiles(*metricsOut, ""); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // printStats summarizes a trace the way the fleet characterization (§2.2)

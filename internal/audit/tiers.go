@@ -1,0 +1,116 @@
+package audit
+
+import (
+	"sdfm/internal/mem"
+	"sdfm/internal/zswap"
+)
+
+// Device- and tiered-pool invariant names (see DESIGN.md "Invariant
+// catalogue"). Stable, like the names in audit.go.
+const (
+	// InvDeviceCapacity: a device tier's occupancy never exceeds its
+	// provisioned capacity and is always whole pages.
+	InvDeviceCapacity = "device/capacity-bound"
+	// InvDeviceUsed: device occupancy reconciles both with the cumulative
+	// stats (stored - loaded - dropped) and with the sum of memcg
+	// device-resident bytes.
+	InvDeviceUsed = "device/used-reconciles"
+	// InvTierMembership: every compressed page's tier is recoverable from
+	// its CompressedSize — a whole page lives on the device tier, a payload
+	// within the zswap cutoff (or a zero-filled page) in the compressed
+	// tier, and nothing may fall between.
+	InvTierMembership = "tier/membership-recoverable"
+)
+
+// TierPages is a census of compressed pages split by recoverable tier
+// membership, summed over one or more memcgs.
+type TierPages struct {
+	// DevicePages have CompressedSize == mem.PageSize.
+	DevicePages uint64
+	// ZswapPages have 0 < CompressedSize <= cutoff, or are zero-filled
+	// (CompressedSize == 0).
+	ZswapPages uint64
+	// ZswapBytes is the summed compressed payload of ZswapPages
+	// (zero-filled pages contribute nothing), comparable to the zswap
+	// arena's PayloadBytes.
+	ZswapBytes uint64
+}
+
+// Add folds another census in.
+func (t *TierPages) Add(o TierPages) {
+	t.DevicePages += o.DevicePages
+	t.ZswapPages += o.ZswapPages
+	t.ZswapBytes += o.ZswapBytes
+}
+
+// TierCensus walks one memcg's compressed pages and classifies each by the
+// membership rule above. cutoff is the zswap tier's acceptance cutoff; a
+// machine with no zswap tier passes cutoff < 0, making any non-whole-page
+// size a violation. scratch is an optional reusable PageID buffer; the
+// (possibly grown) buffer is returned for the next call. Cost is
+// O(compressed pages), so this is the most expensive cheap-tier check —
+// it only runs for device/tiered machines.
+func TierCensus(machine string, mc *mem.Memcg, cutoff int, scratch []mem.PageID) (TierPages, []mem.PageID, []Violation) {
+	var census TierPages
+	var vs []Violation
+	scratch = mc.AppendCompressed(scratch[:0])
+	for _, id := range scratch {
+		size := int(mc.Meta(id).CompressedSize)
+		switch {
+		case size == mem.PageSize:
+			census.DevicePages++
+		case size == 0 || (cutoff >= 0 && size <= cutoff):
+			census.ZswapPages++
+			census.ZswapBytes += uint64(size)
+		default:
+			vs = append(vs, V(machine, mc.Name(), InvTierMembership,
+				"page %d: compressed size %d is neither a whole page nor within the zswap cutoff %d",
+				id, size, cutoff))
+		}
+	}
+	return census, scratch, vs
+}
+
+// CheckDevicePool verifies a device tier's accounting: the capacity bound,
+// whole-page occupancy, and occupancy reconciliation against both the
+// cumulative stats and the memcg-side census (devPages compressed pages
+// classified as device-resident). O(1).
+func CheckDevicePool(machine string, d *zswap.DevicePool, devPages uint64) []Violation {
+	var vs []Violation
+	st := d.Stats()
+	used := d.UsedBytes()
+	if capacity := d.Profile().CapacityBytes; capacity > 0 && used > capacity {
+		vs = append(vs, V(machine, "", InvDeviceCapacity,
+			"device %s holds %d bytes, capacity %d", d.Profile().Name, used, capacity))
+	}
+	if used%mem.PageSize != 0 {
+		vs = append(vs, V(machine, "", InvDeviceCapacity,
+			"device %s occupancy %d is not whole pages", d.Profile().Name, used))
+	}
+	outflow := st.LoadedPages + d.DroppedPages()
+	if st.StoredPages < outflow {
+		vs = append(vs, V(machine, "", InvDeviceUsed,
+			"device %s released more pages than stored: %d stored, %d loaded + %d dropped",
+			d.Profile().Name, st.StoredPages, st.LoadedPages, d.DroppedPages()))
+	} else if want := (st.StoredPages - outflow) * mem.PageSize; used != want {
+		vs = append(vs, V(machine, "", InvDeviceUsed,
+			"device %s occupancy %d, cumulative stats imply %d (%d stored - %d loaded - %d dropped)",
+			d.Profile().Name, used, want, st.StoredPages, st.LoadedPages, d.DroppedPages()))
+	}
+	if want := devPages * mem.PageSize; used != want {
+		vs = append(vs, V(machine, "", InvDeviceUsed,
+			"device %s occupancy %d, memcgs hold %d device-resident pages (%d bytes)",
+			d.Profile().Name, used, devPages, want))
+	}
+	return vs
+}
+
+// CheckTieredPool verifies both tiers of a TieredPool against a combined
+// census of the machine's memcgs (from TierCensus with the tier-2 cutoff):
+// tier-1 via CheckDevicePool, tier-2 via the zswap pool conservation
+// checks.
+func CheckTieredPool(machine string, t *zswap.TieredPool, census TierPages) []Violation {
+	vs := CheckDevicePool(machine, t.Tier1(), census.DevicePages)
+	vs = append(vs, CheckPool(machine, t.Tier2(), census.ZswapPages, census.ZswapBytes)...)
+	return vs
+}

@@ -1,0 +1,160 @@
+package audit
+
+import (
+	"testing"
+
+	"sdfm/internal/mem"
+	"sdfm/internal/zswap"
+)
+
+// exerciseTiered fills a tiered pool from a memcg with controlled ages:
+// even pages stay mildly cold (tier-1 candidates), odd pages are deeply
+// cold (tier-2). Some pages are then promoted back and a few dropped, so
+// the census sees a mixed steady state on both tiers.
+func exerciseTiered(t *testing.T, tp *zswap.TieredPool, m *mem.Memcg) {
+	t.Helper()
+	for i := 0; i < m.NumPages()/2; i++ {
+		id := mem.PageID(i)
+		if i%2 == 0 {
+			m.SetAge(id, 0)
+		} else {
+			m.SetAge(id, 5)
+		}
+		tp.Store(m, id)
+	}
+	for i := 0; i < m.NumPages()/8; i++ {
+		id := mem.PageID(i)
+		if m.Flags(id)&mem.FlagCompressed == 0 {
+			continue
+		}
+		if i%3 == 0 {
+			if err := tp.Drop(m, id); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := tp.Load(m, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// newTiered builds a tiered pool whose tier-1 is small enough to overflow
+// during exerciseTiered, so spill-to-tier-2 is part of the tested state.
+func newTiered(capacityPages uint64) *zswap.TieredPool {
+	profile := zswap.ProfileNVM
+	profile.CapacityBytes = capacityPages * mem.PageSize
+	return zswap.NewTieredPool(profile, nil, 2)
+}
+
+func TestTierCensusReconciles(t *testing.T) {
+	tp := newTiered(40)
+	m := newMemcg(400)
+	exerciseTiered(t, tp, m)
+
+	census, _, vs := TierCensus("m0", m, tp.Tier2().Cutoff(), nil)
+	if len(vs) > 0 {
+		t.Fatalf("healthy tiered memcg flagged: %v", vs)
+	}
+	if got, want := census.DevicePages+census.ZswapPages, uint64(m.Compressed()); got != want {
+		t.Errorf("census total %d pages, memcg holds %d compressed", got, want)
+	}
+	// Device pages record a whole page in the memcg's compressed bytes;
+	// the census's ZswapBytes is what remains.
+	if got, want := census.ZswapBytes+census.DevicePages*mem.PageSize, m.CompressedBytes(); got != want {
+		t.Errorf("census bytes %d, memcg accounts %d", got, want)
+	}
+	if got, want := census.DevicePages*mem.PageSize, tp.Tier1().UsedBytes(); got != want {
+		t.Errorf("census sees %d device bytes, tier-1 holds %d", got, want)
+	}
+	if census.DevicePages == 0 || census.ZswapPages == 0 {
+		t.Fatalf("census %+v did not exercise both tiers", census)
+	}
+}
+
+func TestTierCensusFlagsIllegalSize(t *testing.T) {
+	tp := newTiered(40)
+	m := newMemcg(400)
+	exerciseTiered(t, tp, m)
+
+	// A compressed size strictly between the zswap cutoff and a whole page
+	// belongs to no tier: membership is no longer recoverable.
+	var scratch []mem.PageID
+	scratch = m.AppendCompressed(scratch)
+	if len(scratch) == 0 {
+		t.Fatal("nothing compressed")
+	}
+	victim := scratch[0]
+	saved := m.Meta(victim).CompressedSize
+	m.Meta(victim).CompressedSize = int32(tp.Tier2().Cutoff() + 1)
+	_, scratch, vs := TierCensus("m0", m, tp.Tier2().Cutoff(), scratch)
+	if !hasInvariant(vs, InvTierMembership) {
+		t.Fatalf("illegal compressed size not flagged: %v", vs)
+	}
+	m.Meta(victim).CompressedSize = saved
+
+	// On a device-only machine (cutoff < 0) any sub-page payload violates:
+	// force one and recheck.
+	m.Meta(victim).CompressedSize = 100
+	_, _, vs = TierCensus("m0", m, -1, scratch)
+	if !hasInvariant(vs, InvTierMembership) {
+		t.Fatalf("sub-page payload on device-only census not flagged: %v", vs)
+	}
+	m.Meta(victim).CompressedSize = saved
+}
+
+func TestCheckDevicePool(t *testing.T) {
+	d := zswap.NewDevicePool(zswap.DeviceProfile{Name: "dev", CapacityBytes: 64 * mem.PageSize})
+	m := newMemcg(200)
+	for i := 0; i < 100; i++ {
+		d.Store(m, mem.PageID(i))
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := d.Load(m, mem.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 15; i++ {
+		if err := d.Drop(m, mem.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Stats().FullRejects == 0 {
+		t.Fatal("capacity never hit; the bound is untested")
+	}
+
+	devPages := uint64(m.Compressed())
+	if vs := CheckDevicePool("m0", d, devPages); len(vs) > 0 {
+		t.Fatalf("healthy device pool flagged: %v", vs)
+	}
+	// A memcg-side census that disagrees with occupancy — what a leaking
+	// release path produces — must be flagged.
+	for _, lie := range []uint64{devPages - 1, devPages + 1} {
+		if vs := CheckDevicePool("m0", d, lie); !hasInvariant(vs, InvDeviceUsed) {
+			t.Errorf("census lie %d not flagged: %v", lie, vs)
+		}
+	}
+}
+
+func TestCheckTieredPool(t *testing.T) {
+	tp := newTiered(40)
+	m := newMemcg(400)
+	exerciseTiered(t, tp, m)
+
+	census, _, vs := TierCensus("m0", m, tp.Tier2().Cutoff(), nil)
+	if len(vs) > 0 {
+		t.Fatal(vs)
+	}
+	if vs := CheckTieredPool("m0", tp, census); len(vs) > 0 {
+		t.Fatalf("healthy tiered pool flagged: %v", vs)
+	}
+	// Each tier's conservation check sees its own slice of the census.
+	bad := census
+	bad.DevicePages++
+	if vs := CheckTieredPool("m0", tp, bad); !hasInvariant(vs, InvDeviceUsed) {
+		t.Errorf("tier-1 page leak not flagged: %v", vs)
+	}
+	bad = census
+	bad.ZswapBytes--
+	if vs := CheckTieredPool("m0", tp, bad); !hasInvariant(vs, InvZswapBytes) {
+		t.Errorf("tier-2 byte leak not flagged: %v", vs)
+	}
+}

@@ -101,10 +101,10 @@ type leakyTier struct {
 	leaks int
 }
 
-func (t *leakyTier) Inner() zswap.FarMemory          { return t.inner }
-func (t *leakyTier) SetNow(f func() time.Duration)   { t.now = f }
-func (t *leakyTier) FootprintBytes() uint64          { return t.inner.FootprintBytes() }
-func (t *leakyTier) Stats() zswap.Stats              { return t.inner.Stats() }
+func (t *leakyTier) Inner() zswap.FarMemory        { return t.inner }
+func (t *leakyTier) SetNow(f func() time.Duration) { t.now = f }
+func (t *leakyTier) FootprintBytes() uint64        { return t.inner.FootprintBytes() }
+func (t *leakyTier) Stats() zswap.Stats            { return t.inner.Stats() }
 func (t *leakyTier) Store(m *mem.Memcg, id mem.PageID) zswap.StoreResult {
 	return t.inner.Store(m, id)
 }

@@ -16,6 +16,7 @@ import (
 	"sdfm/internal/fault"
 	"sdfm/internal/mem"
 	"sdfm/internal/node"
+	"sdfm/internal/obs"
 	"sdfm/internal/simtime"
 	"sdfm/internal/stats"
 	"sdfm/internal/telemetry"
@@ -59,6 +60,11 @@ type Config struct {
 	// the default per-machine zswap pool. The chaos harness injects
 	// instrumented tiers this way; nil keeps the default.
 	TierFn func(machineIdx int) zswap.FarMemory
+	// Obs, when set, gives every machine its own observer (process
+	// "<cluster>/<machine>", labels cluster and machine). Each machine
+	// writes only to its own observer, so instrumented RunParallel output
+	// stays byte-identical to serial runs. Nil disables instrumentation.
+	Obs *obs.Multi
 }
 
 // Cluster is a set of machines under one scheduler.
@@ -87,6 +93,12 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.TierFn != nil {
 			tier = cfg.TierFn(i)
 		}
+		var observer *obs.Observer
+		if cfg.Obs != nil {
+			observer = cfg.Obs.Observer(cfg.Name+"/"+name,
+				obs.Label{Key: "cluster", Value: cfg.Name},
+				obs.Label{Key: "machine", Value: name})
+		}
 		m, err := node.NewMachine(node.Config{
 			Name:           name,
 			Cluster:        cfg.Name,
@@ -101,6 +113,7 @@ func New(cfg Config) (*Cluster, error) {
 			Injector:       fault.NewInjector(cfg.Faults, name),
 			Breaker:        cfg.Breaker,
 			Audit:          cfg.Audit,
+			Obs:            observer,
 		})
 		if err != nil {
 			return nil, err

@@ -14,6 +14,7 @@ import (
 	"sdfm/internal/core"
 	"sdfm/internal/fault"
 	"sdfm/internal/node"
+	"sdfm/internal/obs"
 	"sdfm/internal/telemetry"
 )
 
@@ -29,8 +30,10 @@ import (
 // simulator; the refactored simulator must reproduce it bit for bit
 // (same RNG draw order, same counters, same arena operation order).
 // auditCfg lets the audited variant prove the invariant auditor is
-// observation-only: the hash must not move when it is enabled.
-func goldenFingerprint(t *testing.T, auditCfg audit.Config) string {
+// observation-only: the hash must not move when it is enabled. hub does
+// the same for the metrics/tracing layer — instrumented runs must
+// reproduce the same hash (nil disables instrumentation).
+func goldenFingerprint(t *testing.T, auditCfg audit.Config, hub *obs.Multi) string {
 	t.Helper()
 	const seed = 20
 	duration := 3 * time.Hour
@@ -58,6 +61,7 @@ func goldenFingerprint(t *testing.T, auditCfg audit.Config) string {
 		Faults:    fault.DefaultPlan(seed, duration),
 		Breaker:   node.BreakerConfig{Enabled: true},
 		Audit:     auditCfg,
+		Obs:       hub,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +93,7 @@ func TestGoldenClusterEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden 20-machine run skipped in -short mode")
 	}
-	got := goldenFingerprint(t, audit.Config{})
+	got := goldenFingerprint(t, audit.Config{}, nil)
 	path := filepath.Join("testdata", "golden_cluster.txt")
 	if os.Getenv("SDFM_UPDATE_GOLDEN") != "" {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -125,7 +129,7 @@ func TestGoldenClusterEquivalenceAudited(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden 20-machine run skipped in -short mode")
 	}
-	got := goldenFingerprint(t, audit.Config{Enabled: true, DeepEverySteps: 8})
+	got := goldenFingerprint(t, audit.Config{Enabled: true, DeepEverySteps: 8}, nil)
 	want, err := os.ReadFile(filepath.Join("testdata", "golden_cluster.txt"))
 	if err != nil {
 		t.Fatalf("reading golden (run with SDFM_UPDATE_GOLDEN=1 to create): %v", err)
@@ -133,5 +137,38 @@ func TestGoldenClusterEquivalenceAudited(t *testing.T) {
 	if got != strings.TrimSpace(string(want)) {
 		t.Fatalf("enabling the auditor changed the simulation:\n got %s\nwant %s\n"+
 			"The audit hook must be observation-only.", got, strings.TrimSpace(string(want)))
+	}
+}
+
+// TestGoldenClusterEquivalenceInstrumented reruns the golden cluster with
+// full observability attached — per-machine metrics, tier instruments,
+// and phase tracing — and asserts the checked-in hash exactly. The
+// metrics layer must observe without perturbing: no extra RNG draws, no
+// counter movement, no allocation that shifts arena operation order.
+func TestGoldenClusterEquivalenceInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("golden 20-machine run is too slow under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("golden 20-machine run skipped in -short mode")
+	}
+	hub := obs.NewMulti(obs.Label{Key: "run", Value: "golden"})
+	got := goldenFingerprint(t, audit.Config{}, hub)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_cluster.txt"))
+	if err != nil {
+		t.Fatalf("reading golden (run with SDFM_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Fatalf("enabling instrumentation changed the simulation:\n got %s\nwant %s\n"+
+			"The obs layer must be observation-only.", got, strings.TrimSpace(string(want)))
+	}
+	// The run must also have produced something: every machine stepped,
+	// so every machine's step counter is non-zero in the export.
+	var sb strings.Builder
+	if err := hub.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sdfm_node_steps_total") {
+		t.Fatal("instrumented run exported no step counters")
 	}
 }

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/fault"
+	"sdfm/internal/node"
+	"sdfm/internal/obs"
+)
+
+// TestRunParallelInstrumentedMatchesSequential is the instrumented
+// determinism guarantee: with per-machine metrics and tracing attached
+// (plus faults and breakers, to exercise every instrumented path), the
+// parallel schedule must produce not just byte-identical simulation state
+// but byte-identical *exports* — each machine writes only to its own
+// observer, and both exporters render in stable creation order, so
+// worker scheduling cannot leak into the output.
+func TestRunParallelInstrumentedMatchesSequential(t *testing.T) {
+	duration := 2 * time.Hour
+	build := func() (*Cluster, *obs.Multi) {
+		hub := obs.NewMulti(obs.Label{Key: "run", Value: "instr"})
+		c := newCluster(t, Config{
+			Machines: 3, DRAMPerMachine: 2 * gib,
+			Mode: node.ModeProactive, Params: core.Params{K: 95, S: 10 * time.Minute},
+			Seed:    60,
+			Faults:  fault.DefaultPlan(60, duration),
+			Breaker: node.BreakerConfig{Enabled: true},
+			Obs:     hub,
+		})
+		if err := c.Populate(6, nil, 61); err != nil {
+			t.Fatal(err)
+		}
+		return c, hub
+	}
+	seq, seqHub := build()
+	if err := seq.Run(duration); err != nil {
+		t.Fatal(err)
+	}
+	par, parHub := build()
+	if err := par.RunParallel(duration, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Machines() {
+		a, b := seq.Machines()[i], par.Machines()[i]
+		fa, fb := machineFingerprint(a), machineFingerprint(b)
+		if fa != fb {
+			t.Fatalf("machine %d state diverges between instrumented Run and RunParallel:\nseq:\n%s\npar:\n%s", i, fa, fb)
+		}
+	}
+	if seq.Fingerprint() != par.Fingerprint() {
+		t.Fatalf("cluster fingerprints diverge: %016x vs %016x", seq.Fingerprint(), par.Fingerprint())
+	}
+
+	render := func(hub *obs.Multi) (string, string) {
+		var prom, chrome strings.Builder
+		if err := hub.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		if err := hub.WriteChromeTrace(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		return prom.String(), chrome.String()
+	}
+	seqProm, seqChrome := render(seqHub)
+	parProm, parChrome := render(parHub)
+	if seqProm != parProm {
+		t.Fatalf("Prometheus exports diverge between Run and RunParallel:\nseq:\n%s\npar:\n%s", seqProm, parProm)
+	}
+	if seqChrome != parChrome {
+		t.Fatal("Chrome trace exports diverge between Run and RunParallel")
+	}
+	if !strings.Contains(seqProm, `machine="m0002"`) {
+		t.Fatal("export is missing per-machine series")
+	}
+	if !strings.Contains(seqChrome, `"ph":"X"`) {
+		t.Fatal("trace export has no spans")
+	}
+}
+
+// TestMachineObsCountersTrackSimulation pins the instrument values to the
+// machine's own counters after a run: steps, promotions, and gauges must
+// agree with the simulation state they mirror.
+func TestMachineObsCountersTrackSimulation(t *testing.T) {
+	hub := obs.NewMulti()
+	c := newCluster(t, Config{
+		Machines: 1, DRAMPerMachine: 2 * gib,
+		Mode: node.ModeProactive, Params: core.Params{K: 95, S: 10 * time.Minute},
+		Seed: 7,
+		Obs:  hub,
+	})
+	if err := c.Populate(2, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Machines()[0]
+	o := hub.Observers()[0]
+
+	// Registering an already-registered instrument returns the same
+	// series, so reading back through the observer is exact.
+	steps := o.Counter("sdfm_node_steps_total", "Completed machine steps.")
+	if want := 2 * time.Hour / (120 * time.Second); steps.Value() != float64(want) {
+		t.Errorf("steps counter %v, machine stepped %d times", steps.Value(), want)
+	}
+	var promos uint64
+	for _, j := range m.Jobs() {
+		promos += j.Promotions
+	}
+	pc := o.Counter("sdfm_node_promotions_total", "Promotion faults served.")
+	if pc.Value() != float64(promos) {
+		t.Errorf("promotions counter %v, jobs account %d", pc.Value(), promos)
+	}
+	resident := o.Gauge("sdfm_node_resident_bytes", "Near memory held by running jobs.")
+	if resident.Value() != float64(m.ResidentBytes()) {
+		t.Errorf("resident gauge %v, machine reports %d", resident.Value(), m.ResidentBytes())
+	}
+	compressed := o.Gauge("sdfm_node_compressed_pages", "Pages currently in far memory.")
+	if compressed.Value() != float64(m.CompressedPages()) {
+		t.Errorf("compressed gauge %v, machine reports %d", compressed.Value(), m.CompressedPages())
+	}
+	if m.CompressedPages() == 0 {
+		t.Fatal("benchmark workload compressed nothing; gauge comparison is vacuous")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sdfm/internal/fault"
+	"sdfm/internal/obs"
 	"sdfm/internal/pagedata"
 	"sdfm/internal/simtime"
 	"sdfm/internal/telemetry"
@@ -58,6 +59,9 @@ type Config struct {
 	// scrub or reject them at load). Nil leaves the trace byte-identical
 	// to one generated without a plan.
 	Faults *fault.Plan
+	// Obs, when set, counts generated, dropped, and corrupted entries as
+	// the trace streams out. Observation-only; nil disables it.
+	Obs *obs.Observer
 }
 
 // DefaultWeights is the fleet archetype blend, chosen so the aggregate
@@ -158,6 +162,16 @@ func GenerateTo(cfg Config, sink telemetry.EntrySink) error {
 
 	filter := fault.NewTraceFilter(cfg.Faults)
 	intervalMin := cfg.Interval.Minutes()
+	var emitted, dropped *obs.Counter
+	if cfg.Obs != nil {
+		emitted = cfg.Obs.Counter("sdfm_fleet_entries_total", "Telemetry entries emitted into the trace.")
+		dropped = cfg.Obs.Counter("sdfm_fleet_entries_dropped_total", "Entries lost to telemetry-drop fault windows.")
+		n := 0
+		for _, chain := range instances {
+			n += len(chain)
+		}
+		cfg.Obs.Gauge("sdfm_fleet_job_instances", "Job instances in the generated fleet.").SetInt(n)
+	}
 	// Active-window sweep. Instances within a slot are a contiguous,
 	// non-overlapping chain sorted by start time, so a monotonic cursor
 	// per slot finds the (at most one) live instance in amortized O(1)
@@ -181,11 +195,13 @@ func GenerateTo(cfg Config, sink telemetry.EntrySink) error {
 			}
 			e, keep := filter.Apply(inst.entry(t, cfg, thresholdsSec, intervalMin))
 			if !keep {
+				dropped.Inc()
 				continue
 			}
 			if err := sink.Append(e); err != nil {
 				return err
 			}
+			emitted.Inc()
 		}
 	}
 	return nil

@@ -13,8 +13,61 @@ import (
 	"time"
 
 	"sdfm/internal/mem"
+	"sdfm/internal/obs"
 	"sdfm/internal/zswap"
 )
+
+// Metrics is the set of obs instruments the reclaimer reports into,
+// labelled by reclaim kind ("proactive" for SLO-driven ReclaimCold,
+// "pressure" for reactive direct reclaim). Nil disables instrumentation.
+type Metrics struct {
+	proactive reclaimMetrics
+	pressure  reclaimMetrics
+}
+
+type reclaimMetrics struct {
+	passes     *obs.Counter
+	stored     *obs.Counter
+	rejected   *obs.Counter
+	poolFull   *obs.Counter
+	bytes      *obs.Counter
+	cpuSeconds *obs.Counter
+}
+
+// NewMetrics registers the reclaimer instruments on o (nil o → nil).
+func NewMetrics(o *obs.Observer) *Metrics {
+	if o == nil {
+		return nil
+	}
+	reg := func(kind string) reclaimMetrics {
+		l := obs.Label{Key: "kind", Value: kind}
+		return reclaimMetrics{
+			passes:     o.Counter("sdfm_kreclaimd_passes_total", "Reclaim passes run.", l),
+			stored:     o.Counter("sdfm_kreclaimd_stored_pages_total", "Pages moved to far memory.", l),
+			rejected:   o.Counter("sdfm_kreclaimd_rejected_pages_total", "Pages marked incompressible.", l),
+			poolFull:   o.Counter("sdfm_kreclaimd_pool_full_total", "Pages refused for tier capacity.", l),
+			bytes:      o.Counter("sdfm_kreclaimd_stored_bytes_total", "Compressed payload bytes written.", l),
+			cpuSeconds: o.Counter("sdfm_kreclaimd_cpu_seconds_total", "Compression cycles charged to reclaim.", l),
+		}
+	}
+	return &Metrics{proactive: reg("proactive"), pressure: reg("pressure")}
+}
+
+func (mx *Metrics) observe(res Result, pressure bool) {
+	if mx == nil {
+		return
+	}
+	rm := &mx.proactive
+	if pressure {
+		rm = &mx.pressure
+	}
+	rm.passes.Inc()
+	rm.stored.AddInt(res.Stored)
+	rm.rejected.AddInt(res.Rejected)
+	rm.poolFull.AddInt(res.PoolFull)
+	rm.bytes.Add(float64(res.StoredBytes))
+	rm.cpuSeconds.Add(res.CPUTime.Seconds())
+}
 
 // Result summarizes one reclaim pass.
 type Result struct {
@@ -33,12 +86,16 @@ type Reclaimer struct {
 	// ids is the reusable candidate-gather buffer, so steady-state reclaim
 	// passes allocate nothing.
 	ids []mem.PageID
+	mx  *Metrics
 }
 
 // New creates a reclaimer backed by tier.
 func New(tier zswap.FarMemory) *Reclaimer {
 	return &Reclaimer{tier: tier}
 }
+
+// SetMetrics attaches obs instruments (nil detaches). Observation-only.
+func (r *Reclaimer) SetMetrics(mx *Metrics) { r.mx = mx }
 
 // Tier returns the backing far-memory tier.
 func (r *Reclaimer) Tier() zswap.FarMemory { return r.tier }
@@ -67,6 +124,7 @@ func (r *Reclaimer) ReclaimCold(m *mem.Memcg, thresholdBucket int) Result {
 			res.PoolFull++
 		}
 	}
+	r.mx.observe(res, false)
 	return res
 }
 
@@ -105,5 +163,6 @@ func (r *Reclaimer) ReclaimUnderPressure(m *mem.Memcg, targetBytes uint64) Resul
 		}
 	}
 	res.Scanned = m.NumPages()
+	r.mx.observe(res, true)
 	return res
 }

@@ -13,7 +13,42 @@ import (
 
 	"sdfm/internal/histogram"
 	"sdfm/internal/mem"
+	"sdfm/internal/obs"
 )
+
+// Metrics is the set of obs instruments the scanner reports into. One
+// Metrics is shared by every Tracker of a machine (trackers come and go
+// with jobs and crashes; the counters are machine-lifetime). All methods
+// tolerate a nil receiver, which disables instrumentation.
+type Metrics struct {
+	scans        *obs.Counter
+	pagesScanned *obs.Counter
+	cpuSeconds   *obs.Counter
+	promotions   *obs.Counter
+}
+
+// NewMetrics registers the scanner instruments on o (nil o → nil Metrics).
+func NewMetrics(o *obs.Observer) *Metrics {
+	if o == nil {
+		return nil
+	}
+	return &Metrics{
+		scans:        o.Counter("sdfm_kstaled_scans_total", "Completed kstaled scan passes."),
+		pagesScanned: o.Counter("sdfm_kstaled_pages_scanned_total", "Pages examined by kstaled scans."),
+		cpuSeconds:   o.Counter("sdfm_kstaled_cpu_seconds_total", "Modelled kstaled scanner CPU."),
+		promotions:   o.Counter("sdfm_kstaled_promotions_total", "Accessed-bit promotions harvested by scans."),
+	}
+}
+
+func (mx *Metrics) onScan(pages int, cpu time.Duration, promos uint64) {
+	if mx == nil {
+		return
+	}
+	mx.scans.Inc()
+	mx.pagesScanned.AddInt(pages)
+	mx.cpuSeconds.Add(cpu.Seconds())
+	mx.promotions.Add(float64(promos))
+}
 
 // DefaultScanPeriod matches the production configuration: 120 s, tuned to
 // keep kstaled under ~11% of one logical core.
@@ -34,12 +69,16 @@ type Tracker struct {
 	census     *histogram.Histogram // age distribution as of the last scan
 	scans      uint64
 	cpu        time.Duration
+	mx         *Metrics
 }
 
 // Config configures a Tracker.
 type Config struct {
 	ScanPeriod  time.Duration // zero means DefaultScanPeriod
 	CostPerPage time.Duration // zero means DefaultCostPerPage
+	// Metrics, when set, receives scan observations. Shared across a
+	// machine's trackers; nil disables instrumentation.
+	Metrics *Metrics
 }
 
 // NewTracker creates a tracker for m. The initial census reflects the
@@ -57,6 +96,7 @@ func NewTracker(m *mem.Memcg, cfg Config) *Tracker {
 		costPerPage: cfg.CostPerPage,
 		promotions:  histogram.New(cfg.ScanPeriod),
 		census:      histogram.New(cfg.ScanPeriod),
+		mx:          cfg.Metrics,
 	}
 	t.census.Add(0, uint64(m.NumPages()))
 	return t
@@ -77,14 +117,18 @@ func (t *Tracker) ScanPeriod() time.Duration { return t.scanPeriod }
 func (t *Tracker) Scan() {
 	var promos [mem.NumAges]uint64
 	t.m.ScanAges(&promos)
+	var promoSum uint64
 	for b, n := range promos {
 		if n != 0 {
 			t.promotions.Add(b, n)
+			promoSum += n
 		}
 	}
 	t.census.SetCounts(t.m.AgeCounts())
 	t.scans++
-	t.cpu += time.Duration(t.m.NumPages()) * t.costPerPage
+	cost := time.Duration(t.m.NumPages()) * t.costPerPage
+	t.cpu += cost
+	t.mx.onScan(t.m.NumPages(), cost, promoSum)
 }
 
 // RecordPromotionFault accounts an actual promotion (a fault on a

@@ -187,7 +187,7 @@ func TestGapAccountingVariableIntervals(t *testing.T) {
 			series: []variableEntry{
 				{300, 5}, {600, 5}, {900, 5},
 				{1500, 10}, {2100, 10}, // 5->10min transition: 1 inferred gap
-				{3900, 10},             // 1800s jump at 10min cadence: 2 gaps
+				{3900, 10}, // 1800s jump at 10min cadence: 2 gaps
 				{4500, 10},
 			},
 			wantGaps: 3,

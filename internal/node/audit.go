@@ -25,22 +25,22 @@ type auditJobPrev struct {
 // backwards, including across restarts (a crash drops pool content and
 // per-job control state, never accounting).
 type auditPrev struct {
-	valid          bool
-	evictions      int
-	limitKills     int
-	pressureRuns   int
-	pressureStall  time.Duration
-	faults         FaultStats
-	pool           zswap.Stats
-	jobs           []auditJobPrev
+	valid         bool
+	evictions     int
+	limitKills    int
+	pressureRuns  int
+	pressureStall time.Duration
+	faults        FaultStats
+	pool          zswap.Stats
+	jobs          []auditJobPrev
 }
 
-// auditPool returns the plain zswap pool at the bottom of the machine's
+// auditTier returns the far-memory tier at the bottom of the machine's
 // tier stack, unwrapping any wrapper that exposes Inner() — the fault
-// tier does, and so does chaos test instrumentation. Nil when the tier
-// bottoms out elsewhere (device or tiered pools), which skips the
-// pool-conservation checks.
-func (m *Machine) auditPool() *zswap.Pool {
+// tier does, and so does chaos test instrumentation. The caller switches
+// on the concrete type (plain zswap pool, device pool, or tiered pool) to
+// pick the applicable conservation checks.
+func (m *Machine) auditTier() zswap.FarMemory {
 	t := m.pool
 	for {
 		w, ok := t.(interface{ Inner() zswap.FarMemory })
@@ -49,7 +49,13 @@ func (m *Machine) auditPool() *zswap.Pool {
 		}
 		t = w.Inner()
 	}
-	zp, _ := t.(*zswap.Pool)
+	return t
+}
+
+// auditPool returns the plain zswap pool at the bottom of the tier stack,
+// nil when the machine runs a device or tiered configuration.
+func (m *Machine) auditPool() *zswap.Pool {
+	zp, _ := m.auditTier().(*zswap.Pool)
 	return zp
 }
 
@@ -79,15 +85,47 @@ func (m *Machine) Audit(deep bool) []audit.Violation {
 		vs = append(vs, audit.V(name, "", audit.InvBreakerLegal,
 			"jobs account %d breaker trips, machine counted %d", tripSum, m.breakerTrips))
 	}
-	if zp := m.auditPool(); zp != nil {
-		vs = append(vs, audit.CheckPool(name, zp, jobPages, jobBytes)...)
+	switch tier := m.auditTier().(type) {
+	case *zswap.Pool:
+		vs = append(vs, audit.CheckPool(name, tier, jobPages, jobBytes)...)
 		if deep {
-			vs = append(vs, audit.CheckPoolDeep(name, zp)...)
+			vs = append(vs, audit.CheckPoolDeep(name, tier)...)
+		}
+	case *zswap.DevicePool:
+		// No zswap tier below: every compressed page must be device-resident.
+		census, vsc := m.tierCensus(-1)
+		vs = append(vs, vsc...)
+		vs = append(vs, audit.CheckDevicePool(name, tier, census.DevicePages)...)
+		if census.ZswapPages != 0 {
+			vs = append(vs, audit.V(name, "", audit.InvTierMembership,
+				"%d compressed pages with sub-page payloads on a device-only machine", census.ZswapPages))
+		}
+	case *zswap.TieredPool:
+		census, vsc := m.tierCensus(tier.Tier2().Cutoff())
+		vs = append(vs, vsc...)
+		vs = append(vs, audit.CheckTieredPool(name, tier, census)...)
+		if deep {
+			vs = append(vs, audit.CheckPoolDeep(name, tier.Tier2())...)
 		}
 	}
 	vs = append(vs, m.auditWatchdog()...)
 	vs = append(vs, m.auditMonotonic()...)
 	return vs
+}
+
+// tierCensus classifies every job's compressed pages by recoverable tier
+// membership (audit.TierCensus), reusing the machine's scratch buffer.
+func (m *Machine) tierCensus(cutoff int) (audit.TierPages, []audit.Violation) {
+	var census audit.TierPages
+	var vs []audit.Violation
+	for _, j := range m.jobs {
+		var c audit.TierPages
+		var jv []audit.Violation
+		c, m.auditScratch, jv = audit.TierCensus(m.cfg.Name, j.Memcg, cutoff, m.auditScratch)
+		census.Add(c)
+		vs = append(vs, jv...)
+	}
+	return census, vs
 }
 
 // auditBreaker checks one job's circuit-breaker state against the state

@@ -23,6 +23,7 @@ import (
 	"sdfm/internal/kreclaimd"
 	"sdfm/internal/kstaled"
 	"sdfm/internal/mem"
+	"sdfm/internal/obs"
 	"sdfm/internal/telemetry"
 	"sdfm/internal/workload"
 	"sdfm/internal/zswap"
@@ -176,6 +177,12 @@ type Config struct {
 	// error wrapping audit.ErrViolation. Disabled by default; when
 	// disabled the cost is one branch per step.
 	Audit audit.Config
+	// Obs, when set, attaches the machine to the observability layer:
+	// metrics for every daemon plus phase spans on the machine's tracer.
+	// Observation-only — simulation behaviour (and the golden fingerprint)
+	// is byte-identical with or without it. Nil disables instrumentation
+	// at a cost of one branch per step.
+	Obs *obs.Observer
 }
 
 // Machine is one simulated production machine.
@@ -215,6 +222,12 @@ type Machine struct {
 	auditEvery     uint64
 	auditDeepEvery uint64
 	auditprev      auditPrev
+	// auditScratch is the reusable compressed-set buffer for tierCensus.
+	auditScratch []mem.PageID
+
+	// Observability (see obs.go); nil when Config.Obs is nil.
+	obs       *machineObs
+	kstaledMx *kstaled.Metrics
 }
 
 // NewMachine builds a machine.
@@ -274,6 +287,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.pool = m.faultTier
 	}
 	m.reclaimer = kreclaimd.New(m.pool)
+	m.attachObs(cfg.Obs)
 	return m, nil
 }
 
@@ -321,7 +335,7 @@ func (m *Machine) AddJob(w *workload.Workload) (*Job, error) {
 	j := &Job{
 		Workload:   w,
 		Memcg:      memcg,
-		Tracker:    kstaled.NewTracker(memcg, kstaled.Config{ScanPeriod: m.scanPeriod}),
+		Tracker:    kstaled.NewTracker(memcg, m.kstaledConfig()),
 		Controller: ctrl,
 		Started:    m.now,
 		Priority:   w.Archetype().Priority,
@@ -426,6 +440,16 @@ func (m *Machine) Step() error {
 	m.scans++
 	intervalMinutes := m.scanPeriod.Minutes()
 
+	// Instrumentation snapshots the cumulative CPU counters so obsEndStep
+	// can size this step's phase spans from their deltas. promoHist stays
+	// nil when obs is off (Observe on a nil histogram is a no-op).
+	var pre cpuTotals
+	var promoHist *obs.Histogram
+	if m.obs != nil {
+		pre = m.cpuTotals()
+		promoHist = m.obs.promoLatencyUS
+	}
+
 	if m.inj.CrashDue(m.now) {
 		if err := m.crash(); err != nil {
 			return err
@@ -474,6 +498,7 @@ func (m *Machine) Step() error {
 				j.DecompressCPU += lr.CPUTime
 				j.Promotions++
 				j.intervalProm++
+				promoHist.Observe(float64(lr.Latency.Nanoseconds()) / 1e3)
 				if m.cfg.CollectSamples {
 					j.latencySamples = append(j.latencySamples, float64(lr.Latency.Nanoseconds())/1e3)
 				}
@@ -555,7 +580,8 @@ func (m *Machine) Step() error {
 	}
 
 	// 4. Periodic compaction (agent-triggered, §5.1).
-	if m.zswapPool != nil && m.scans%uint64(m.cfg.CompactEveryScans) == 0 {
+	ranCompact := m.zswapPool != nil && m.scans%uint64(m.cfg.CompactEveryScans) == 0
+	if ranCompact {
 		m.zswapPool.Compact()
 	}
 
@@ -566,22 +592,35 @@ func (m *Machine) Step() error {
 
 	// 6. Telemetry export. A drop window suppresses the export but keeps
 	// the cadence, leaving a gap in the trace for the model to account.
+	ranExport := false
 	if m.cfg.Collector != nil && m.now-m.lastExport >= m.exportEvery {
 		if m.inj.TelemetryDropped(m.now) {
 			m.droppedExports++
 		} else if err := m.export(); err != nil {
 			return err
+		} else {
+			ranExport = true
 		}
 		m.lastExport = m.now
 	}
 
 	// 7. Invariant audit (opt-in). Read-only against simulation state, so
 	// behaviour with auditing on is byte-identical to auditing off.
+	ranAudit, deepAudit := false, false
 	if m.cfg.Audit.Enabled && m.scans%m.auditEvery == 0 {
-		deep := m.auditDeepEvery > 0 && m.scans%m.auditDeepEvery == 0
-		if vs := m.Audit(deep); len(vs) > 0 {
+		ranAudit = true
+		deepAudit = m.auditDeepEvery > 0 && m.scans%m.auditDeepEvery == 0
+		if vs := m.Audit(deepAudit); len(vs) > 0 {
+			// Flush instruments before failing so the exported metrics and
+			// trace describe the step that tripped the auditor.
+			if m.obs != nil {
+				m.obsEndStep(pre, ranCompact, ranExport, ranAudit, deepAudit, len(vs))
+			}
 			return &audit.Error{Violations: vs}
 		}
+	}
+	if m.obs != nil {
+		m.obsEndStep(pre, ranCompact, ranExport, ranAudit, deepAudit, 0)
 	}
 	return nil
 }
@@ -615,7 +654,7 @@ func (m *Machine) crash() error {
 			return err
 		}
 		j.Memcg.ResetAges()
-		j.Tracker = kstaled.NewTracker(j.Memcg, kstaled.Config{ScanPeriod: m.scanPeriod})
+		j.Tracker = kstaled.NewTracker(j.Memcg, m.kstaledConfig())
 		ctrl, err := core.NewController(core.ControllerConfig{
 			SLO:      m.cfg.SLO,
 			Params:   m.cfg.Params,

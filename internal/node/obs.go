@@ -1,0 +1,264 @@
+package node
+
+import (
+	"time"
+
+	"sdfm/internal/kreclaimd"
+	"sdfm/internal/kstaled"
+	"sdfm/internal/obs"
+	"sdfm/internal/zswap"
+)
+
+// promoLatencyBuckets are the promotion-latency histogram bounds in
+// microseconds, spanning memset-speed zero-page restores through device
+// reads and worst-case decompression.
+var promoLatencyBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000}
+
+// machineObs holds the machine's typed instrument handles and trace lanes.
+// It is built once in NewMachine (nil when observability is off) and only
+// touched by the machine's own step loop, which keeps instrumented
+// parallel cluster runs byte-identical to serial ones. All updates are
+// observation-only: nothing here feeds back into simulation decisions.
+type machineObs struct {
+	trace *obs.Tracer
+
+	steps            *obs.Counter
+	promotions       *obs.Counter
+	evictions        *obs.Counter
+	limitKills       *obs.Counter
+	pressureRuns     *obs.Counter
+	crashes          *obs.Counter
+	watchdogRestarts *obs.Counter
+	churnKills       *obs.Counter
+	breakerTrips     *obs.Counter
+	droppedExports   *obs.Counter
+	auditRuns        *obs.Counter
+	auditDeepRuns    *obs.Counter
+	auditViolations  *obs.Counter
+
+	residentBytes   *obs.Gauge
+	usedBytes       *obs.Gauge
+	compressedPages *obs.Gauge
+	poolFootprint   *obs.Gauge
+	jobsRunning     *obs.Gauge
+	tier1Used       *obs.Gauge // device/tiered machines only; nil otherwise
+
+	promoLatencyUS *obs.Histogram
+
+	laneWorkload int
+	laneScan     int
+	laneReclaim  int
+	laneCompact  int
+	lanePressure int
+	laneExport   int
+	laneAudit    int
+
+	// prev snapshots the machine counters whose deltas feed the counters
+	// above at the end of each step.
+	prev struct {
+		evictions, limitKills, pressureRuns   int
+		crashes, watchdogRestarts, churnKills int
+		breakerTrips, droppedExports          int
+	}
+}
+
+// newMachineObs registers the machine's instruments on o. Returns nil
+// (instrumentation off, one branch per step) when o is nil.
+func newMachineObs(o *obs.Observer) *machineObs {
+	if o == nil {
+		return nil
+	}
+	mo := &machineObs{
+		trace: o.Tracer(),
+
+		steps:            o.Counter("sdfm_node_steps_total", "Completed machine steps."),
+		promotions:       o.Counter("sdfm_node_promotions_total", "Promotion faults served."),
+		evictions:        o.Counter("sdfm_node_evictions_total", "Jobs evicted for memory pressure."),
+		limitKills:       o.Counter("sdfm_node_limit_kills_total", "Jobs killed at their memcg limit."),
+		pressureRuns:     o.Counter("sdfm_node_pressure_runs_total", "Direct-reclaim episodes."),
+		crashes:          o.Counter("sdfm_node_crashes_total", "Machine crash-restarts."),
+		watchdogRestarts: o.Counter("sdfm_node_watchdog_restarts_total", "Daemon restarts by the watchdog."),
+		churnKills:       o.Counter("sdfm_node_churn_kills_total", "Jobs finished early by churn bursts."),
+		breakerTrips:     o.Counter("sdfm_node_breaker_trips_total", "Circuit-breaker opens across jobs."),
+		droppedExports:   o.Counter("sdfm_node_dropped_exports_total", "Telemetry exports lost to fault windows."),
+		auditRuns:        o.Counter("sdfm_node_audit_runs_total", "Invariant-audit passes."),
+		auditDeepRuns:    o.Counter("sdfm_node_audit_deep_runs_total", "Deep (full-recount) audit passes."),
+		auditViolations:  o.Counter("sdfm_node_audit_violations_total", "Invariant violations found."),
+
+		residentBytes:   o.Gauge("sdfm_node_resident_bytes", "Near memory held by running jobs."),
+		usedBytes:       o.Gauge("sdfm_node_used_bytes", "Total near memory in use (resident + tier footprint)."),
+		compressedPages: o.Gauge("sdfm_node_compressed_pages", "Pages currently in far memory."),
+		poolFootprint:   o.Gauge("sdfm_node_pool_footprint_bytes", "DRAM consumed by the far-memory tier itself."),
+		jobsRunning:     o.Gauge("sdfm_node_jobs_running", "Jobs currently running."),
+
+		promoLatencyUS: o.Histogram("sdfm_node_promotion_latency_us",
+			"End-to-end promotion-fault latency in microseconds.", promoLatencyBuckets),
+
+		laneWorkload: o.Lane("workload"),
+		laneScan:     o.Lane("scan"),
+		laneReclaim:  o.Lane("reclaim"),
+		laneCompact:  o.Lane("compact"),
+		lanePressure: o.Lane("pressure"),
+		laneExport:   o.Lane("export"),
+		laneAudit:    o.Lane("audit"),
+	}
+	return mo
+}
+
+// attachTierMetrics hooks the far-memory tier's own instruments, labelled
+// by tier, plus the tier-1 occupancy gauge for device configurations.
+func (mo *machineObs) attachTierMetrics(o *obs.Observer, tier zswap.FarMemory) {
+	switch tp := tier.(type) {
+	case *zswap.Pool:
+		tp.SetMetrics(zswap.NewMetrics(o, "zswap"))
+	case *zswap.DevicePool:
+		tp.SetMetrics(zswap.NewMetrics(o, "device"))
+		mo.tier1Used = o.Gauge("sdfm_far_used_bytes", "Device-tier occupancy.",
+			obs.Label{Key: "tier", Value: "device"})
+	case *zswap.TieredPool:
+		tp.SetMetrics(zswap.NewMetrics(o, "tier1"), zswap.NewMetrics(o, "tier2"))
+		mo.tier1Used = o.Gauge("sdfm_far_used_bytes", "Device-tier occupancy.",
+			obs.Label{Key: "tier", Value: "tier1"})
+	}
+}
+
+// cpuTotals sums the per-job modelled CPU counters whose deltas bound each
+// step phase's span duration. O(jobs); only called when instrumented.
+type cpuTotals struct {
+	workload   time.Duration // application CPU + decompression on faults
+	scan       time.Duration // kstaled scanner CPU
+	compress   time.Duration // compression (proactive reclaim + pressure)
+	stall      time.Duration // synchronous pressure stalls
+	promotions uint64
+}
+
+func (m *Machine) cpuTotals() cpuTotals {
+	var t cpuTotals
+	for _, j := range m.jobs {
+		t.workload += j.CPUUsed + j.DecompressCPU
+		t.scan += j.Tracker.CPUTime()
+		t.compress += j.CompressCPU
+		t.promotions += j.Promotions
+	}
+	t.stall = m.pressureStall
+	return t
+}
+
+// endStep emits the step's phase spans (laid out sequentially over the
+// scan period in simulated time, each sized by its modelled CPU cost) and
+// refreshes counters and gauges. ranCompact/ranExport/ranAudit gate the
+// zero-cost bookkeeping phases' spans.
+func (m *Machine) obsEndStep(pre cpuTotals, ranCompact, ranExport, ranAudit, deepAudit bool, violations int) {
+	mo := m.obs
+	post := m.cpuTotals()
+	// Trackers reset their cumulative CPU on crash; clamp deltas at zero
+	// so a crash step cannot produce negative span durations.
+	dur := func(a, b time.Duration) time.Duration {
+		if b < a {
+			return 0
+		}
+		return b - a
+	}
+	wl := dur(pre.workload, post.workload)
+	scan := dur(pre.scan, post.scan)
+	// The pressure phase charges both CompressCPU and StallTime; the
+	// reclaim lane gets the proactive share (compress delta minus the
+	// pressure stall delta, clamped).
+	stall := dur(pre.stall, post.stall)
+	reclaim := dur(pre.compress, post.compress)
+	if reclaim >= stall {
+		reclaim -= stall
+	} else {
+		reclaim = 0
+	}
+
+	t := m.now - m.scanPeriod
+	emit := func(lane int, name string, d time.Duration) {
+		mo.trace.Emit(lane, name, t, d)
+		t += d
+	}
+	emit(mo.laneWorkload, "workload", wl)
+	emit(mo.laneScan, "scan", scan)
+	emit(mo.laneReclaim, "reclaim", reclaim)
+	if ranCompact {
+		emit(mo.laneCompact, "compact", 0)
+	}
+	if stall > 0 || m.pressureRuns != mo.prev.pressureRuns {
+		emit(mo.lanePressure, "pressure", stall)
+	}
+	if ranExport {
+		emit(mo.laneExport, "export", 0)
+	}
+	if ranAudit {
+		name := "audit"
+		if deepAudit {
+			name = "audit-deep"
+		}
+		emit(mo.laneAudit, name, 0)
+	}
+
+	mo.steps.Inc()
+	if d := post.promotions - pre.promotions; d > 0 {
+		mo.promotions.Add(float64(d))
+	}
+	mo.evictions.AddInt(m.evictions - mo.prev.evictions)
+	mo.limitKills.AddInt(m.limitKills - mo.prev.limitKills)
+	mo.pressureRuns.AddInt(m.pressureRuns - mo.prev.pressureRuns)
+	mo.crashes.AddInt(m.crashes - mo.prev.crashes)
+	mo.watchdogRestarts.AddInt(m.watchdogRestarts - mo.prev.watchdogRestarts)
+	mo.churnKills.AddInt(m.churnKills - mo.prev.churnKills)
+	mo.breakerTrips.AddInt(m.breakerTrips - mo.prev.breakerTrips)
+	mo.droppedExports.AddInt(m.droppedExports - mo.prev.droppedExports)
+	if ranAudit {
+		mo.auditRuns.Inc()
+		if deepAudit {
+			mo.auditDeepRuns.Inc()
+		}
+		mo.auditViolations.AddInt(violations)
+	}
+	mo.prev.evictions = m.evictions
+	mo.prev.limitKills = m.limitKills
+	mo.prev.pressureRuns = m.pressureRuns
+	mo.prev.crashes = m.crashes
+	mo.prev.watchdogRestarts = m.watchdogRestarts
+	mo.prev.churnKills = m.churnKills
+	mo.prev.breakerTrips = m.breakerTrips
+	mo.prev.droppedExports = m.droppedExports
+
+	running := 0
+	for _, j := range m.jobs {
+		if j.State == JobRunning {
+			running++
+		}
+	}
+	mo.jobsRunning.SetInt(running)
+	mo.residentBytes.SetUint64(m.ResidentBytes())
+	mo.usedBytes.SetUint64(m.UsedBytes())
+	mo.compressedPages.SetUint64(m.CompressedPages())
+	mo.poolFootprint.SetUint64(m.pool.FootprintBytes())
+	if mo.tier1Used != nil {
+		switch tp := m.auditTier().(type) {
+		case *zswap.DevicePool:
+			mo.tier1Used.SetUint64(tp.UsedBytes())
+		case *zswap.TieredPool:
+			mo.tier1Used.SetUint64(tp.Tier1().UsedBytes())
+		}
+	}
+}
+
+// kstaledMetrics lazily builds the machine-wide scanner metrics so crash
+// restarts and AddJob share one instance.
+func (m *Machine) kstaledConfig() kstaled.Config {
+	return kstaled.Config{ScanPeriod: m.scanPeriod, Metrics: m.kstaledMx}
+}
+
+// attachObs finishes observability wiring after the tier stack is built.
+func (m *Machine) attachObs(o *obs.Observer) {
+	m.obs = newMachineObs(o)
+	if m.obs == nil {
+		return
+	}
+	m.obs.attachTierMetrics(o, m.auditTier())
+	m.kstaledMx = kstaled.NewMetrics(o)
+	m.reclaimer.SetMetrics(kreclaimd.NewMetrics(o))
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteChromeTrace renders every observer's spans in the Chrome
+// trace_event JSON format (load via chrome://tracing or https://ui.perfetto.dev).
+// Each observer becomes a process (pid = creation order, 1-based), each
+// lane a thread; spans are "X" complete events with ts/dur in microseconds
+// of simulated time. Output is deterministic: metadata first, then spans in
+// emission order.
+func (m *Multi) WriteChromeTrace(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+	for pid0, o := range m.observers {
+		if o == nil {
+			continue
+		}
+		pid := strconv.Itoa(pid0 + 1)
+		sep()
+		bw.WriteString(`{"name":"process_name","ph":"M","pid":`)
+		bw.WriteString(pid)
+		bw.WriteString(`,"tid":0,"args":{"name":`)
+		writeJSONString(bw, o.Process)
+		bw.WriteString(`}}`)
+		for tid, lane := range o.Trace.Lanes() {
+			sep()
+			bw.WriteString(`{"name":"thread_name","ph":"M","pid":`)
+			bw.WriteString(pid)
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.Itoa(tid))
+			bw.WriteString(`,"args":{"name":`)
+			writeJSONString(bw, lane)
+			bw.WriteString(`}}`)
+		}
+		for _, s := range o.Trace.Spans() {
+			sep()
+			bw.WriteString(`{"name":`)
+			writeJSONString(bw, s.Name)
+			bw.WriteString(`,"ph":"X","pid":`)
+			bw.WriteString(pid)
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.Itoa(s.Lane))
+			bw.WriteString(`,"ts":`)
+			writeMicros(bw, s.Start)
+			bw.WriteString(`,"dur":`)
+			writeMicros(bw, s.Dur)
+			bw.WriteString(`}`)
+		}
+	}
+	bw.WriteString(`],"displayTimeUnit":"ms"}`)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// writeMicros renders a duration as microseconds with fixed millidecimal
+// precision — fixed-width fractions keep the output byte-stable.
+func writeMicros(bw *bufio.Writer, d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = -ns
+		bw.WriteByte('-')
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	if rem := ns % 1000; rem != 0 {
+		bw.WriteByte('.')
+		s := strconv.FormatInt(rem, 10)
+		for len(s) < 3 {
+			s = "0" + s
+		}
+		bw.WriteString(s)
+	}
+}
+
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			bw.WriteString(`\u00`)
+			const hex = "0123456789abcdef"
+			bw.WriteByte(hex[c>>4])
+			bw.WriteByte(hex[c&0xf])
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}

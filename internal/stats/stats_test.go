@@ -215,6 +215,72 @@ func TestCDFEmpty(t *testing.T) {
 	if c.N() != 0 {
 		t.Error("N() != 0")
 	}
+	// Quantile on an empty CDF is NaN for every q — including q outside
+	// [0,1], where the emptiness check precedes the range check.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if !math.IsNaN(c.Quantile(q)) {
+			t.Errorf("Quantile(%v) on empty CDF should be NaN", q)
+		}
+	}
+}
+
+func TestCDFSingleSample(t *testing.T) {
+	c := NewCDF([]float64{42})
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := c.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %v, want the lone sample", q, got)
+		}
+	}
+	pts := c.Points(5)
+	if len(pts) != 1 || pts[0] != (Point{X: 42, Y: 1}) {
+		t.Errorf("Points(5) = %v, want [{42 1}]", pts)
+	}
+}
+
+// TestCDFQuantileMatchesPercentileSorted pins Quantile to its definition:
+// the q-th quantile of the sample set is exactly PercentileSorted at
+// 100*q over the sorted samples, for every q on a fine grid.
+func TestCDFQuantileMatchesPercentileSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	c := NewCDF(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if a, b := c.Quantile(q), PercentileSorted(sorted, q*100); !almost(a, b, 1e-12) {
+			t.Errorf("q=%v: Quantile %v != PercentileSorted %v", q, a, b)
+		}
+	}
+}
+
+func TestCDFQuantileOutOfRangePanics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3})
+	for _, q := range []float64{-0.01, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) on a non-empty CDF did not panic", q)
+				}
+			}()
+			c.Quantile(q)
+		}()
+	}
+}
+
+func TestCDFPointsDegenerate(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3})
+	if c.Points(0) != nil {
+		t.Error("Points(0) should be nil")
+	}
+	if c.Points(-1) != nil {
+		t.Error("Points(-1) should be nil")
+	}
+	if pts := c.Points(1); len(pts) != 1 || pts[0].X != 1 {
+		t.Errorf("Points(1) = %v, want the first sample only", pts)
+	}
 }
 
 func TestHistogram(t *testing.T) {

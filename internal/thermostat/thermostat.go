@@ -80,23 +80,48 @@ func New(m *mem.Memcg, cfg Config) (*Detector, error) {
 	}, nil
 }
 
+// unpoisonable marks pages thermostat must never poison: mlocked pages
+// cannot be unmapped, and unevictable pages would fault forever without
+// ever being reclaimed.
+const unpoisonable = mem.FlagMlocked | mem.FlagUnevictable
+
 // BeginInterval poisons a fresh random sample of mappable pages.
+//
+// The sample size is clamped to the poisonable population: an empty memcg
+// yields an empty sample (no rand.Intn(0) panic), and a memcg whose
+// mlocked/unevictable pages outnumber the request poisons only what is
+// actually available instead of rejection-sampling forever.
 func (d *Detector) BeginInterval() {
 	for id := range d.poisoned {
 		delete(d.poisoned, id)
 	}
 	d.sampled = 0
 	n := d.m.NumPages()
+	if n == 0 {
+		return
+	}
+	poisonable := 0
+	for id := 0; id < n; id++ {
+		if d.m.Flags(mem.PageID(id))&unpoisonable == 0 {
+			poisonable++
+		}
+	}
+	if poisonable == 0 {
+		return
+	}
 	want := int(float64(n) * d.sampleFrac)
 	if want < 1 {
 		want = 1
+	}
+	if want > poisonable {
+		want = poisonable
 	}
 	for d.sampled < want {
 		id := mem.PageID(d.rng.Intn(n))
 		if d.poisoned[id] {
 			continue
 		}
-		if d.m.Flags(id)&(mem.FlagMlocked|mem.FlagUnevictable) != 0 {
+		if d.m.Flags(id)&unpoisonable != 0 {
 			continue
 		}
 		d.poisoned[id] = true

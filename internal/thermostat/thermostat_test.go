@@ -136,6 +136,101 @@ func TestMlockedPagesNeverPoisoned(t *testing.T) {
 	}
 }
 
+// beginWithTimeout runs BeginInterval on another goroutine so that a
+// regression to the unbounded rejection-sampling loop fails the test
+// quickly instead of hanging it until the package deadline.
+func beginWithTimeout(t *testing.T, d *Detector) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.BeginInterval()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("BeginInterval did not terminate (sampling livelock regression)")
+	}
+}
+
+// Regression: a zero-page memcg (the zero value — NewMemcg itself rejects
+// Pages: 0) used to panic via rand.Intn(0).
+func TestBeginIntervalEmptyMemcg(t *testing.T) {
+	m := &mem.Memcg{}
+	d, err := New(m, Config{SampleFraction: 0.1, Rng: simtime.Rand(9, "th")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.BeginInterval() // must not panic
+	if d.sampled != 0 || len(d.poisoned) != 0 {
+		t.Fatalf("empty memcg sampled %d pages", d.sampled)
+	}
+	d.EndInterval() // and the empty interval must not disturb the estimate
+	if d.ColdFractionEstimate() != 0 {
+		t.Fatalf("estimate after empty interval = %v", d.ColdFractionEstimate())
+	}
+}
+
+// Regression: when mlocked/unevictable pages leave fewer poisonable pages
+// than the requested sample, the rejection-sampling loop never terminated.
+// The sample must clamp to the poisonable population.
+func TestBeginIntervalClampsToPoisonable(t *testing.T) {
+	m := mem.NewMemcg(mem.Config{
+		Name: "locked", Pages: 100, Mix: workload.LogProcessor.Mix, MlockedFraction: 0.9,
+	})
+	poisonable := 0
+	for id := mem.PageID(0); int(id) < m.NumPages(); id++ {
+		if m.Flags(id)&(mem.FlagMlocked|mem.FlagUnevictable) == 0 {
+			poisonable++
+		}
+	}
+	d, err := New(m, Config{SampleFraction: 0.5, Rng: simtime.Rand(10, "th")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(float64(m.NumPages()) * 0.5); want <= poisonable {
+		t.Fatalf("fixture too weak: want %d <= poisonable %d", want, poisonable)
+	}
+	beginWithTimeout(t, d)
+	if d.sampled != poisonable {
+		t.Fatalf("sampled %d, want clamp to poisonable %d", d.sampled, poisonable)
+	}
+	for id := range d.poisoned {
+		if m.Flags(id)&(mem.FlagMlocked|mem.FlagUnevictable) != 0 {
+			t.Fatalf("unpoisonable page %d poisoned", id)
+		}
+	}
+}
+
+// Regression: a fully mlocked memcg (poisonable population zero, pages
+// nonzero) also livelocked — `want` was floored at 1.
+func TestBeginIntervalAllMlocked(t *testing.T) {
+	m := mem.NewMemcg(mem.Config{
+		Name: "allmlock", Pages: 50, Mix: workload.LogProcessor.Mix, MlockedFraction: 1,
+	})
+	d, err := New(m, Config{SampleFraction: 0.1, Rng: simtime.Rand(11, "th")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beginWithTimeout(t, d)
+	if d.sampled != 0 || len(d.poisoned) != 0 {
+		t.Fatalf("sampled %d pages of a fully mlocked memcg", d.sampled)
+	}
+	// Unevictable pages count as unpoisonable the same way.
+	m2 := mem.NewMemcg(mem.Config{Name: "unev", Pages: 10, Mix: workload.LogProcessor.Mix})
+	for id := mem.PageID(0); id < 10; id++ {
+		m2.SetFlags(id, mem.FlagUnevictable)
+	}
+	d2, err := New(m2, Config{SampleFraction: 0.5, Rng: simtime.Rand(12, "th")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beginWithTimeout(t, d2)
+	if d2.sampled != 0 {
+		t.Fatalf("sampled %d pages of a fully unevictable memcg", d2.sampled)
+	}
+}
+
 func TestIntervalsCounter(t *testing.T) {
 	d, _, _ := newFixture(t, 0.02)
 	for i := 0; i < 3; i++ {

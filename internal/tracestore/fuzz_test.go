@@ -17,13 +17,13 @@ func FuzzDecodeChunk(f *testing.F) {
 	// the interesting structural edges.
 	entries := []telemetry.Entry{
 		{
-			Key: telemetry.JobKey{Cluster: "c0", Machine: "m0", Job: "alpha"},
+			Key:          telemetry.JobKey{Cluster: "c0", Machine: "m0", Job: "alpha"},
 			TimestampSec: 300, IntervalMinutes: 5, WSSPages: 100, TotalPages: 400,
 			ColdTails: []uint64{9, 7, 3}, PromoTails: []uint64{30, 20, 10},
 			CompressibleFrac: 0.7, Checksum: 12345,
 		},
 		{
-			Key: telemetry.JobKey{Cluster: "c0", Machine: "m1", Job: "beta"},
+			Key:          telemetry.JobKey{Cluster: "c0", Machine: "m1", Job: "beta"},
 			TimestampSec: 600, IntervalMinutes: 5, WSSPages: 50, TotalPages: 200,
 			ColdTails: []uint64{5, 5, 0}, PromoTails: []uint64{8, 1, 0},
 			CompressibleFrac: 1, Checksum: 67890,
@@ -31,11 +31,11 @@ func FuzzDecodeChunk(f *testing.F) {
 	}
 	valid := encodeChunkPayload(nil, entries, 3)
 	f.Add(valid, 2, 3)
-	f.Add(valid[:len(valid)/2], 2, 3)       // truncated
-	f.Add(valid, 200, 3)                    // entry count lies
-	f.Add(valid, 2, 21)                     // threshold count lies
-	f.Add([]byte{}, 1, 1)                   // empty
-	f.Add([]byte{0x00}, 1, 1)               // zero job directory
+	f.Add(valid[:len(valid)/2], 2, 3)                                               // truncated
+	f.Add(valid, 200, 3)                                                            // entry count lies
+	f.Add(valid, 2, 21)                                                             // threshold count lies
+	f.Add([]byte{}, 1, 1)                                                           // empty
+	f.Add([]byte{0x00}, 1, 1)                                                       // zero job directory
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, 1, 1) // huge varint
 
 	f.Fuzz(func(t *testing.T, raw []byte, entryCount, nThresh int) {

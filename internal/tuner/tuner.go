@@ -17,6 +17,7 @@ import (
 	"sdfm/internal/core"
 	"sdfm/internal/gp"
 	"sdfm/internal/model"
+	"sdfm/internal/obs"
 )
 
 // Space is the parameter search space.
@@ -94,6 +95,11 @@ type Config struct {
 	// NoiseVar is the GP observation noise (default 1e-4: the model is
 	// deterministic, so observation noise is tiny).
 	NoiseVar float64
+	// Obs, when set, counts evaluations and lays the search out on a
+	// logical timeline (one span per evaluation, 1 ms apart) so a Chrome
+	// trace shows the seed design and each GP iteration. Observation-only;
+	// the search itself is unaffected.
+	Obs *obs.Observer
 }
 
 func (c *Config) fillDefaults() {
@@ -178,16 +184,37 @@ func Autotune(obj Objective, cfg Config) (Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	var evals, feasibles *obs.Counter
+	var bestGauge *obs.Gauge
+	var tracer *obs.Tracer
+	laneSearch := -1
+	if cfg.Obs != nil {
+		evals = cfg.Obs.Counter("sdfm_tuner_evals_total", "Objective evaluations run.")
+		feasibles = cfg.Obs.Counter("sdfm_tuner_feasible_total", "Evaluations satisfying the promotion-rate SLO.")
+		bestGauge = cfg.Obs.Gauge("sdfm_tuner_best_score", "Score of the best observation so far.")
+		tracer = cfg.Obs.Tracer()
+		laneSearch = cfg.Obs.Lane("search")
+	}
+
 	var res Result
-	evaluate := func(p core.Params) error {
+	evaluate := func(phase string, p core.Params) error {
 		fr, err := obj(p)
 		if err != nil {
 			return fmt.Errorf("tuner: evaluating %+v: %w", p, err)
 		}
 		score, feasible := Score(fr, cfg.SLO)
+		// Logical timeline: evaluation i occupies [i ms, (i+1) ms).
+		tracer.Emit(laneSearch, phase, time.Duration(len(res.History))*time.Millisecond, time.Millisecond)
+		evals.Inc()
+		if feasible {
+			feasibles.Inc()
+		}
 		res.History = append(res.History, Observation{
 			Params: p, Result: fr, Score: score, Feasible: feasible,
 		})
+		if b, err := pickBest(res.History); err == nil {
+			bestGauge.Set(b.Score)
+		}
 		return nil
 	}
 
@@ -202,7 +229,7 @@ func Autotune(obj Objective, cfg Config) (Result, error) {
 		seeds = append(seeds, cfg.Space.Denormalize([]float64{rng.Float64(), rng.Float64()}))
 	}
 	for _, p := range seeds[:cfg.InitSamples] {
-		if err := evaluate(p); err != nil {
+		if err := evaluate("seed", p); err != nil {
 			return Result{}, err
 		}
 	}
@@ -253,7 +280,7 @@ func Autotune(obj Objective, cfg Config) (Result, error) {
 				bestX = cands[c]
 			}
 		}
-		if err := evaluate(cfg.Space.Denormalize(bestX)); err != nil {
+		if err := evaluate("gp-iter", cfg.Space.Denormalize(bestX)); err != nil {
 			return Result{}, err
 		}
 	}

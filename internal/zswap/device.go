@@ -18,8 +18,14 @@ import (
 // risk motivates the paper's software-defined approach.
 type DevicePool struct {
 	profile DeviceProfile
-	used    uint64
-	stats   Stats
+	// used is CURRENT occupancy in bytes; stats fields are CUMULATIVE.
+	// They reconcile as
+	//	used == (StoredPages - LoadedPages - droppedPages) * PageSize
+	// which audit.CheckDevicePool enforces.
+	used         uint64
+	droppedPages uint64
+	stats        Stats
+	mx           *Metrics
 }
 
 // DeviceProfile describes a far-memory device.
@@ -68,6 +74,7 @@ func (d *DevicePool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 	}
 	if d.profile.CapacityBytes > 0 && d.used+mem.PageSize > d.profile.CapacityBytes {
 		d.stats.FullRejects++
+		d.mx.incFullReject()
 		return StoreResult{Outcome: StoreRejectedFull,
 			Err: fmt.Errorf("storing page %d of %s: %w", id, m.Name(), ErrPoolFull)}
 	}
@@ -76,6 +83,7 @@ func (d *DevicePool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 	d.stats.StoredPages++
 	d.stats.StoredBytes += mem.PageSize
 	d.stats.PayloadBytes += mem.PageSize
+	d.mx.incStored(mem.PageSize, false)
 	return StoreResult{
 		Outcome:        StoreOK,
 		CompressedSize: mem.PageSize,
@@ -84,20 +92,52 @@ func (d *DevicePool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 	}
 }
 
-// Load promotes a page from the device.
+// Load promotes a page from the device. Like Pool.Load it counts one
+// LoadedPages and releases the page's occupancy; promotion latency is the
+// device read, with no CPU decompression cost.
 func (d *DevicePool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
 	if !m.Flags(id).Has(mem.FlagCompressed) {
 		return LoadResult{}, fmt.Errorf("zswap: load of non-stored page %d of %s", id, m.Name())
 	}
+	if d.used < mem.PageSize {
+		return LoadResult{}, fmt.Errorf("zswap: device %s load of page %d of %s with empty tier (accounting bug)",
+			d.profile.Name, id, m.Name())
+	}
 	m.MarkPromoted(id)
 	d.used -= mem.PageSize
 	d.stats.LoadedPages++
+	d.mx.incLoaded()
 	return LoadResult{
 		CompressedSize: mem.PageSize,
 		CPUTime:        0,
 		Latency:        d.profile.ReadLatency,
 	}, nil
 }
+
+// Drop discards a stored page without promotion, mirroring Pool.Drop:
+// occupancy is released, the drop is counted via DroppedPages rather than
+// as a LoadedPages promotion, and no device read latency is charged.
+// Before this existed, job-exit releases fell back to Load, which inflated
+// LoadedPages and charged phantom read latency.
+func (d *DevicePool) Drop(m *mem.Memcg, id mem.PageID) error {
+	if !m.Flags(id).Has(mem.FlagCompressed) {
+		return fmt.Errorf("zswap: device drop of non-stored page %d", id)
+	}
+	if d.used < mem.PageSize {
+		return fmt.Errorf("zswap: device %s drop of page %d of %s with empty tier (accounting bug)",
+			d.profile.Name, id, m.Name())
+	}
+	m.MarkPromoted(id)
+	m.ClearFlags(id, mem.FlagAccessed)
+	d.used -= mem.PageSize
+	d.droppedPages++
+	d.mx.incDropped()
+	return nil
+}
+
+// DroppedPages returns how many pages have been discarded via Drop since
+// creation (cumulative, like Stats).
+func (d *DevicePool) DroppedPages() uint64 { return d.droppedPages }
 
 // FootprintBytes: device tiers consume no near memory.
 func (d *DevicePool) FootprintBytes() uint64 { return 0 }
@@ -114,5 +154,7 @@ func (d *DevicePool) StrandedBytes() uint64 {
 	return d.profile.CapacityBytes - d.used
 }
 
-// Stats returns cumulative statistics.
+// Stats returns cumulative statistics; see the Stats type for which
+// fields are cumulative (all of them) vs. the current-occupancy accessors
+// (UsedBytes, StrandedBytes, DroppedPages reconciliation).
 func (d *DevicePool) Stats() Stats { return d.stats }

@@ -1,0 +1,90 @@
+package zswap
+
+import "sdfm/internal/obs"
+
+// Metrics is the set of obs instruments a far-memory tier reports into.
+// All methods are nil-receiver safe, so an uninstrumented pool pays one
+// branch per event. Counters mirror the cumulative Stats fields (current
+// occupancy is exported as gauges by the node agent, which already reads
+// it every step); the tier label distinguishes tiers in merged exports.
+type Metrics struct {
+	storedPages   *obs.Counter
+	zeroPages     *obs.Counter
+	rejectedPages *obs.Counter
+	fullRejects   *obs.Counter
+	loadedPages   *obs.Counter
+	droppedPages  *obs.Counter
+	payloadBytes  *obs.Counter
+}
+
+// NewMetrics registers the standard far-memory instruments on o, labelled
+// with the given tier name ("zswap", "device", "tier1", "tier2"). Returns
+// nil (instrumentation off) when o is nil.
+func NewMetrics(o *obs.Observer, tier string) *Metrics {
+	if o == nil {
+		return nil
+	}
+	l := obs.Label{Key: "tier", Value: tier}
+	return &Metrics{
+		storedPages:   o.Counter("sdfm_far_stored_pages_total", "Pages accepted into the far-memory tier.", l),
+		zeroPages:     o.Counter("sdfm_far_zero_pages_total", "Pages stored via the same-filled optimization.", l),
+		rejectedPages: o.Counter("sdfm_far_rejected_pages_total", "Pages refused: compressed payload above the cutoff.", l),
+		fullRejects:   o.Counter("sdfm_far_full_rejects_total", "Pages refused: tier at capacity.", l),
+		loadedPages:   o.Counter("sdfm_far_loaded_pages_total", "Pages promoted back on faults.", l),
+		droppedPages:  o.Counter("sdfm_far_dropped_pages_total", "Pages discarded without promotion (job exit).", l),
+		payloadBytes:  o.Counter("sdfm_far_payload_bytes_total", "Compressed bytes written to the tier.", l),
+	}
+}
+
+func (mx *Metrics) incStored(payloadBytes int, zero bool) {
+	if mx == nil {
+		return
+	}
+	mx.storedPages.Inc()
+	if zero {
+		mx.zeroPages.Inc()
+	} else {
+		mx.payloadBytes.AddInt(payloadBytes)
+	}
+}
+
+func (mx *Metrics) incRejected() {
+	if mx == nil {
+		return
+	}
+	mx.rejectedPages.Inc()
+}
+
+func (mx *Metrics) incFullReject() {
+	if mx == nil {
+		return
+	}
+	mx.fullRejects.Inc()
+}
+
+func (mx *Metrics) incLoaded() {
+	if mx == nil {
+		return
+	}
+	mx.loadedPages.Inc()
+}
+
+func (mx *Metrics) incDropped() {
+	if mx == nil {
+		return
+	}
+	mx.droppedPages.Inc()
+}
+
+// SetMetrics attaches obs instruments to the pool (nil detaches).
+// Observation-only: instruments never influence pool behavior.
+func (p *Pool) SetMetrics(mx *Metrics) { p.mx = mx }
+
+// SetMetrics attaches obs instruments to the device tier (nil detaches).
+func (d *DevicePool) SetMetrics(mx *Metrics) { d.mx = mx }
+
+// SetMetrics attaches per-tier obs instruments (either may be nil).
+func (t *TieredPool) SetMetrics(tier1, tier2 *Metrics) {
+	t.tier1.SetMetrics(tier1)
+	t.tier2.SetMetrics(tier2)
+}

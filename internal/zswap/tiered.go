@@ -74,19 +74,22 @@ func (t *TieredPool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
 	return t.tier2.Load(m, id)
 }
 
-// Drop discards a stored page without promotion cost.
+// Drop discards a stored page without promotion cost. Both tiers count
+// the drop via their DroppedPages accessors — previously a tier-1 drop was
+// routed through Load, inflating LoadedPages (promotions) with frees.
 func (t *TieredPool) Drop(m *mem.Memcg, id mem.PageID) error {
 	if !m.Flags(id).Has(mem.FlagCompressed) {
 		return fmt.Errorf("zswap: tiered drop of non-stored page %d", id)
 	}
 	if t.holdsInTier1(m.Meta(id)) {
-		_, err := t.tier1.Load(m, id)
-		if err == nil {
-			m.ClearFlags(id, mem.FlagAccessed)
-		}
-		return err
+		return t.tier1.Drop(m, id)
 	}
 	return t.tier2.Drop(m, id)
+}
+
+// DroppedPages returns cumulative drops across both tiers.
+func (t *TieredPool) DroppedPages() uint64 {
+	return t.tier1.DroppedPages() + t.tier2.DroppedPages()
 }
 
 func (t *TieredPool) holdsInTier1(meta *mem.PageMeta) bool {
@@ -100,7 +103,9 @@ func (t *TieredPool) FootprintBytes() uint64 { return t.tier2.FootprintBytes() }
 // Compact forwards to the compressed tier's arena.
 func (t *TieredPool) Compact() uint64 { return t.tier2.Compact() }
 
-// Stats merges both tiers.
+// Stats merges both tiers field-by-field; all fields stay cumulative (see
+// the Stats type). ZeroPages comes only from tier-2: a device tier stores
+// zero-filled pages as whole pages like any other.
 func (t *TieredPool) Stats() Stats {
 	a, b := t.tier1.Stats(), t.tier2.Stats()
 	return Stats{

@@ -126,6 +126,35 @@ func TestTieredDrop(t *testing.T) {
 	}
 }
 
+// Regression: a tier-1 drop used to route through DevicePool.Load,
+// counting the free as a promotion in LoadedPages.
+func TestTieredDropDoesNotInflateLoads(t *testing.T) {
+	tp, m := tieredFixture(50)
+	m.SetAge(0, 5)   // tier 1
+	m.SetAge(1, 100) // tier 2
+	tp.Store(m, 0)
+	tp.Store(m, 1)
+	if err := tp.Drop(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Drop(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := tp.Stats(); st.LoadedPages != 0 {
+		t.Errorf("LoadedPages = %d after drops, want 0", st.LoadedPages)
+	}
+	if tp.DroppedPages() != 2 {
+		t.Errorf("DroppedPages = %d, want 2", tp.DroppedPages())
+	}
+	if tp.Tier1().UsedBytes() != 0 {
+		t.Errorf("tier1 used = %d after drop", tp.Tier1().UsedBytes())
+	}
+	// Dropped tier-1 pages are reclaimable again, like Pool.Drop leaves them.
+	if !m.Reclaimable(0) {
+		t.Errorf("dropped tier-1 page not reclaimable: flags %b", m.Flags(0))
+	}
+}
+
 func TestTieredLoadErrors(t *testing.T) {
 	tp, m := tieredFixture(50)
 	if _, err := tp.Load(m, 0); err == nil {

@@ -78,17 +78,27 @@ type LoadResult struct {
 	Latency        time.Duration // end-to-end promotion latency
 }
 
-// Stats aggregates pool activity since creation.
+// Stats aggregates pool activity since creation. Every field is
+// CUMULATIVE (monotonically increasing over the pool's lifetime); none
+// describes current occupancy. Current state comes from the dedicated
+// accessors instead: FootprintBytes/UsedBytes for occupancy,
+// Pool.ZeroResident for live same-filled pages, Pool/DevicePool
+// DroppedPages for pages discarded without promotion. For any tier the
+// pages currently held reconcile as
+//
+//	StoredPages - LoadedPages - DroppedPages()
+//
+// which the audit layer checks against per-memcg compressed-page counts.
 type Stats struct {
-	StoredPages    uint64
+	StoredPages    uint64 // pages accepted into the tier (incl. zero-filled)
 	ZeroPages      uint64 // stored via the same-filled optimization
-	RejectedPages  uint64
-	FullRejects    uint64
-	LoadedPages    uint64
+	RejectedPages  uint64 // refused: compressed payload above the cutoff
+	FullRejects    uint64 // refused: tier at capacity
+	LoadedPages    uint64 // pages promoted back on faults (excludes drops)
 	CompressCPU    time.Duration
 	DecompressCPU  time.Duration
-	StoredBytes    uint64 // uncompressed bytes moved to far memory (cumulative)
-	PayloadBytes   uint64 // compressed bytes written (cumulative)
+	StoredBytes    uint64 // uncompressed bytes moved to far memory
+	PayloadBytes   uint64 // compressed bytes written
 	ValidationErrs uint64
 }
 
@@ -113,6 +123,8 @@ type Pool struct {
 	validate      bool
 	stats         Stats
 	zeroResident  uint64 // zero-filled pages currently held
+	droppedPages  uint64 // pages discarded via Drop (not in Stats: see Drop)
+	mx            *Metrics
 
 	// Reusable scratch: page synthesis, compression destination, and the
 	// validation-path decompression destination. Owned by the pool; only
@@ -190,6 +202,7 @@ func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 		p.stats.ZeroPages++
 		p.stats.StoredPages++
 		p.stats.StoredBytes += mem.PageSize
+		p.mx.incStored(0, true)
 		return StoreResult{Outcome: StoreZeroFilled, Ratio: float64(mem.PageSize)}
 	}
 	p.compBuf = compress.Compress(p.compBuf[:0], p.pageBuf)
@@ -201,6 +214,7 @@ func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 		cpu = p.cost.RejectLatency(mem.PageSize)
 		p.stats.RejectedPages++
 		p.stats.CompressCPU += cpu
+		p.mx.incRejected()
 		return StoreResult{Outcome: StoreRejectedIncompressible, CompressedSize: size, CPUTime: cpu}
 	}
 	if p.capacityBytes > 0 {
@@ -208,6 +222,7 @@ func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 		if p.arena.Stats().PhysicalBytes+needed > p.capacityBytes {
 			p.stats.FullRejects++
 			p.stats.CompressCPU += cpu
+			p.mx.incFullReject()
 			return StoreResult{Outcome: StoreRejectedFull, CompressedSize: size, CPUTime: cpu,
 				Err: fmt.Errorf("storing page %d of %s: %w", id, m.Name(), ErrPoolFull)}
 		}
@@ -225,6 +240,7 @@ func (p *Pool) Store(m *mem.Memcg, id mem.PageID) StoreResult {
 	p.stats.StoredBytes += mem.PageSize
 	p.stats.PayloadBytes += uint64(size)
 	p.stats.CompressCPU += cpu
+	p.mx.incStored(size, false)
 	return StoreResult{
 		Outcome:        StoreOK,
 		CompressedSize: size,
@@ -251,6 +267,7 @@ func (p *Pool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
 		m.MarkPromoted(id)
 		p.zeroResident--
 		p.stats.LoadedPages++
+		p.mx.incLoaded()
 		// A memset-speed restore: charge only the fixed fault overhead.
 		cpu := p.cost.DecompressBase
 		p.stats.DecompressCPU += cpu
@@ -282,11 +299,15 @@ func (p *Pool) Load(m *mem.Memcg, id mem.PageID) (LoadResult, error) {
 	cpu := p.cost.DecompressLatency(size, mem.PageSize)
 	p.stats.LoadedPages++
 	p.stats.DecompressCPU += cpu
+	p.mx.incLoaded()
 	return LoadResult{CompressedSize: size, CPUTime: cpu, Latency: cpu}, nil
 }
 
 // Drop discards a compressed page without promoting it (used when a job
-// exits while holding far memory).
+// exits while holding far memory). Drops are counted via DroppedPages, not
+// in Stats (the Stats struct is part of the golden machine fingerprint, so
+// it must not grow fields), and deliberately not as LoadedPages: loads are
+// promotion faults, drops are frees.
 func (p *Pool) Drop(m *mem.Memcg, id mem.PageID) error {
 	if !m.Flags(id).Has(mem.FlagCompressed) {
 		return fmt.Errorf("zswap: drop of non-compressed page %d", id)
@@ -294,6 +315,8 @@ func (p *Pool) Drop(m *mem.Memcg, id mem.PageID) error {
 	handle := m.Meta(id).Handle
 	if handle == zeroHandle {
 		p.zeroResident--
+		p.droppedPages++
+		p.mx.incDropped()
 		m.MarkPromoted(id)
 		m.ClearFlags(id, mem.FlagAccessed)
 		return nil
@@ -301,10 +324,23 @@ func (p *Pool) Drop(m *mem.Memcg, id mem.PageID) error {
 	if err := p.arena.Free(handle); err != nil {
 		return err
 	}
+	p.droppedPages++
+	p.mx.incDropped()
 	m.MarkPromoted(id)
 	m.ClearFlags(id, mem.FlagAccessed)
 	return nil
 }
+
+// DroppedPages returns how many pages have been discarded via Drop since
+// creation (cumulative, like Stats).
+func (p *Pool) DroppedPages() uint64 { return p.droppedPages }
+
+// Cutoff returns the acceptance cutoff for compressed payloads. Every page
+// this pool holds has CompressedSize in (0, Cutoff] — or exactly 0 for
+// zero-filled pages — which is how tier membership is recovered in tiered
+// configurations (a device tier stores whole pages, CompressedSize ==
+// mem.PageSize > Cutoff).
+func (p *Pool) Cutoff() int { return p.cutoff }
 
 // Compact runs zsmalloc compaction and returns reclaimed physical bytes.
 // The node agent triggers this explicitly (§5.1).

@@ -257,6 +257,85 @@ func TestDevicePoolStoreLoad(t *testing.T) {
 	}
 }
 
+// Regression: DevicePool had no Drop, so job-exit releases fell back to
+// Load, counting frees as promotions. Drop must release occupancy, leave
+// LoadedPages alone, and reconcile with the cumulative stats.
+func TestDevicePoolDropAccounting(t *testing.T) {
+	d := NewDevicePool(ProfileNVM)
+	m := newMemcg(10, pagedata.DefaultMix)
+	for i := 0; i < 4; i++ {
+		if res := d.Store(m, mem.PageID(i)); res.Outcome != StoreOK {
+			t.Fatalf("store %d: %+v", i, res)
+		}
+	}
+	if _, err := d.Load(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Drop(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Drop(m, 2); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.LoadedPages != 1 {
+		t.Errorf("LoadedPages = %d, want 1 (drops must not count as loads)", st.LoadedPages)
+	}
+	if d.DroppedPages() != 2 {
+		t.Errorf("DroppedPages = %d, want 2", d.DroppedPages())
+	}
+	// Current occupancy reconciles with the cumulative counters.
+	want := (st.StoredPages - st.LoadedPages - d.DroppedPages()) * mem.PageSize
+	if d.UsedBytes() != want {
+		t.Errorf("UsedBytes = %d, want %d", d.UsedBytes(), want)
+	}
+	if d.UsedBytes() != mem.PageSize {
+		t.Errorf("UsedBytes = %d, want one page", d.UsedBytes())
+	}
+	// Dropped pages are resident again and re-reclaimable (accessed bit
+	// cleared), exactly like Pool.Drop.
+	if !m.Reclaimable(1) {
+		t.Errorf("dropped page not reclaimable: flags %b", m.Flags(1))
+	}
+	if err := d.Drop(m, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Drop of a non-stored page errors and leaves accounting alone.
+	if err := d.Drop(m, 3); err == nil {
+		t.Error("double drop succeeded")
+	}
+	if d.UsedBytes() != 0 || d.DroppedPages() != 3 {
+		t.Errorf("after final drop: used=%d dropped=%d", d.UsedBytes(), d.DroppedPages())
+	}
+}
+
+func TestPoolDroppedPagesCounter(t *testing.T) {
+	p := NewPool()
+	m := newMemcg(50, pagedata.NewMix(0, 1, 1, 1, 0))
+	stored := []mem.PageID{}
+	for i := 0; i < 10; i++ {
+		if p.Store(m, mem.PageID(i)).Outcome == StoreOK {
+			stored = append(stored, mem.PageID(i))
+		}
+	}
+	if len(stored) < 2 {
+		t.Fatalf("fixture stored only %d pages", len(stored))
+	}
+	if err := p.Drop(m, stored[0]); err != nil {
+		t.Fatal(err)
+	}
+	if p.DroppedPages() != 1 {
+		t.Errorf("DroppedPages = %d, want 1", p.DroppedPages())
+	}
+	if p.Stats().LoadedPages != 0 {
+		t.Errorf("drop counted as load: LoadedPages = %d", p.Stats().LoadedPages)
+	}
+	held := p.Stats().StoredPages - p.Stats().LoadedPages - p.DroppedPages()
+	if held != uint64(m.Compressed()) {
+		t.Errorf("held-page reconciliation: %d vs memcg %d", held, m.Compressed())
+	}
+}
+
 func TestDevicePoolCapacityAndStranding(t *testing.T) {
 	profile := ProfileNVM
 	profile.CapacityBytes = 3 * mem.PageSize

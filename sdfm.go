@@ -38,6 +38,7 @@ import (
 	"sdfm/internal/fleet"
 	"sdfm/internal/model"
 	"sdfm/internal/node"
+	"sdfm/internal/obs"
 	"sdfm/internal/tco"
 	"sdfm/internal/telemetry"
 	"sdfm/internal/tracestore"
@@ -459,6 +460,26 @@ var (
 	// judge health by.
 	ErrNoObservations = tuner.ErrNoObservations
 )
+
+// Observability: the fleet-wide metrics and tracing layer. Deterministic
+// (no wall clock; instruments export in stable registration order) and
+// observation-only — enabling it never changes simulation results.
+type (
+	// Obs is the observability hub: one observer per process (a machine, a
+	// generator, a tuner run), merged into a single Prometheus text
+	// exposition or Chrome trace_event JSON file.
+	Obs = obs.Multi
+	// Observer is one process's metrics registry and tracer. Set it on
+	// MachineConfig.Obs, FleetConfig.Obs, or TunerConfig.Obs; ClusterConfig
+	// takes the whole hub and derives one observer per machine.
+	Observer = obs.Observer
+	// ObsLabel is one metric label pair.
+	ObsLabel = obs.Label
+)
+
+// NewObs creates an observability hub whose base labels are stamped on
+// every metric series of every observer.
+func NewObs(base ...ObsLabel) *Obs { return obs.NewMulti(base...) }
 
 // TCO arithmetic (§6.1).
 
