@@ -1,0 +1,150 @@
+// Command sdfmd is the online fleet control plane daemon: the §5.3
+// tuning loop as a long-lived network service. Node agents POST
+// /v1/register once, stream telemetry batches to /v1/report, and poll
+// /v1/poll for the (K, S) parameters the controller has assigned to
+// them. The controller drains its bounded ingest queues on a wall-clock
+// tick; once the ingested telemetry spans -round-every of trace time it
+// compiles the window into the fast far memory model, runs the
+// GP-bandit, and pushes the winner through staged deployment rings with
+// per-ring health checks and rollback.
+//
+// Operational endpoints: /metrics (Prometheus text), /statusz (JSON),
+// /healthz, and POST /v1/round to force a tuning round. SIGINT/SIGTERM
+// shut down gracefully: the listener stops, in-flight requests finish,
+// and every queued batch is drained into the fleet snapshot before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sdfm/internal/controlplane"
+	"sdfm/internal/obs"
+	"sdfm/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdfmd: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8300", "listen address")
+		roundEvery = flag.Duration("round-every", 6*time.Hour, "telemetry-time span of one tuning window")
+		tick       = flag.Duration("tick", 250*time.Millisecond, "wall-clock ingest drain interval")
+		queueCap   = flag.Int("queue-cap", 8192, "per-agent ingest queue bound, entries")
+		batch      = flag.Int("batch", 1024, "entries drained per agent per tick")
+		shards     = flag.Int("shards", 8, "fleet snapshot shard count")
+		seed       = flag.Int64("seed", 1, "GP-bandit seed (reused every round)")
+		iterations = flag.Int("iterations", 15, "GP-bandit iterations per round")
+		stagesFlag = flag.String("stages", "", `deployment rings as "name=frac,..." (empty: canary/early/half/fleet)`)
+	)
+	flag.Parse()
+
+	stages, err := parseStages(*stagesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hub := obs.NewMulti(obs.Label{Key: "run", Value: "sdfmd"})
+	observer := hub.Observer("controlplane")
+	ctrl, err := controlplane.New(controlplane.Config{
+		RoundEvery: *roundEvery,
+		QueueCap:   *queueCap,
+		BatchSize:  *batch,
+		Shards:     *shards,
+		Stages:     stages,
+		Tuner:      tuner.Config{Seed: *seed, Iterations: *iterations},
+		Obs:        observer,
+		OnRound: func(rr controlplane.RoundReport) {
+			log.Printf("round %d: window [%ds, %ds] entries=%d jobs=%d gaps=%d candidate=(K=%.1f,S=%s) -> %s",
+				rr.Round, rr.WindowStartSec, rr.WindowEndSec, rr.Entries, rr.Jobs, rr.GapIntervals,
+				rr.Candidate.K, rr.Candidate.S, rr.Reason)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: controlplane.NewServer(ctrl, hub).Handler()}
+	log.Printf("listening on %s (round-every=%s tick=%s queue-cap=%d)", ln.Addr(), roundEvery, tick, *queueCap)
+
+	// Ingest drains run on a wall-clock ticker; tuning rounds trigger
+	// from inside Tick when the telemetry window spans -round-every.
+	tickDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				ctrl.Tick()
+			case <-tickDone:
+				return
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %s; shutting down", s)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	close(tickDone)
+	rep := ctrl.Drain()
+	st := ctrl.Status()
+	log.Printf("drained %d queued entries in %d ticks (%d corrupt, %d invalid rejected)",
+		rep.Drained, rep.Ticks, rep.RejectedCorrupt, rep.RejectedInvalid)
+	log.Printf("final: agents=%d rounds=%d ingested=%d dropped=%d incumbent=(K=%.1f,S=%s)",
+		len(st.Agents), st.Rounds, st.Ingest.Ingested, st.Ingest.DroppedBackpressure,
+		st.Incumbent.K, st.Incumbent.S)
+}
+
+// parseStages parses "canary=0.01,early=0.1,fleet=1" into rollout rings;
+// an empty spec selects the paper's default rings.
+func parseStages(spec string) ([]tuner.RolloutStage, error) {
+	if spec == "" {
+		return nil, nil // controlplane defaults to tuner.DefaultRolloutStages
+	}
+	var stages []tuner.RolloutStage
+	for _, part := range strings.Split(spec, ",") {
+		name, fracStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf(`sdfmd: -stages entry %q is not "name=fraction"`, part)
+		}
+		frac, err := strconv.ParseFloat(fracStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sdfmd: -stages entry %q: %v", part, err)
+		}
+		if frac <= 0 || frac > 1 {
+			return nil, fmt.Errorf("sdfmd: -stages entry %q: fraction outside (0, 1]", part)
+		}
+		stages = append(stages, tuner.RolloutStage{Name: name, Fraction: frac})
+	}
+	return stages, nil
+}

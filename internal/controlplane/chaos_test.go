@@ -1,0 +1,101 @@
+package controlplane
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sdfm/internal/fault"
+)
+
+// chaosPlan damages the agent→controller stream mid-run: one machine goes
+// dark for 90 minutes inside the first tuning window (drop), and every
+// machine's exports are bit-flipped for 30 minutes inside the second
+// (corrupt).
+func chaosPlan() *fault.Plan {
+	return &fault.Plan{
+		Name: "controlplane-chaos",
+		Seed: 42,
+		Events: []fault.Event{
+			{Kind: fault.TelemetryDrop, Machine: "m0001", At: time.Hour, Duration: 90 * time.Minute},
+			{Kind: fault.TelemetryCorrupt, At: 4 * time.Hour, Duration: 30 * time.Minute},
+		},
+	}
+}
+
+// TestChaosRolloutDeterministicAndGapAware drives the loopback transport
+// under a seeded telemetry-drop/corrupt fault plan and asserts the two
+// properties the control plane promises under damage: identical runs make
+// identical rollout decisions (faults included), and the damage is visible
+// in controller state — corrupted entries are rejected with accounting and
+// the holes the drops tear in the trace surface as GapIntervals on the
+// round that judged the damaged window.
+func TestChaosRolloutDeterministicAndGapAware(t *testing.T) {
+	tr := testTrace(t, 2, 3, 2, 7*time.Hour, 9)
+
+	run := func(plan *fault.Plan) (SimReport, Status) {
+		c := newTestController(t, Config{RoundEvery: 3 * time.Hour})
+		rep, err := RunSim(c, tr, SimConfig{Faults: plan})
+		if err != nil {
+			t.Fatalf("RunSim: %v", err)
+		}
+		return rep, c.Status()
+	}
+
+	clean, _ := run(nil)
+	faulted, st := run(chaosPlan())
+	faulted2, st2 := run(chaosPlan())
+
+	// Determinism under faults: the full report — wire damage, ingest
+	// accounting, and every rollout decision — is identical across runs.
+	if !reflect.DeepEqual(faulted, faulted2) {
+		t.Errorf("faulted sim reports differ across identical runs:\n%+v\n%+v", faulted, faulted2)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Errorf("faulted controller status differs across identical runs")
+	}
+
+	if faulted.WireDropped == 0 || faulted.WireCorrupted == 0 {
+		t.Fatalf("fault plan did no damage: dropped %d corrupted %d",
+			faulted.WireDropped, faulted.WireCorrupted)
+	}
+	// Every corrupted entry reached the controller and was rejected at
+	// ingest validation, with accounting.
+	if st.Ingest.RejectedCorrupt != uint64(faulted.WireCorrupted) {
+		t.Errorf("rejected corrupt = %d, wire corrupted = %d; want equal",
+			st.Ingest.RejectedCorrupt, faulted.WireCorrupted)
+	}
+	// Dropped entries never arrived at all.
+	if faulted.Sent != len(tr.Entries)-faulted.WireDropped {
+		t.Errorf("sent %d, want trace %d minus dropped %d",
+			faulted.Sent, len(tr.Entries), faulted.WireDropped)
+	}
+
+	if len(faulted.Rounds) != len(clean.Rounds) || len(faulted.Rounds) < 2 {
+		t.Fatalf("rounds: faulted %d, clean %d; want equal and >= 2",
+			len(faulted.Rounds), len(clean.Rounds))
+	}
+	// Gap-awareness: the drop window sits inside round 1's telemetry
+	// window, so that round must see more inferred gaps — and lower
+	// completeness — than the clean run's round 1. The corrupt window sits
+	// inside round 2's window; its rejected entries tear holes there too.
+	if faulted.Rounds[0].GapIntervals <= clean.Rounds[0].GapIntervals {
+		t.Errorf("round 1 gaps under drop faults = %d, clean = %d; want more",
+			faulted.Rounds[0].GapIntervals, clean.Rounds[0].GapIntervals)
+	}
+	if faulted.Rounds[0].Completeness >= clean.Rounds[0].Completeness {
+		t.Errorf("round 1 completeness under drop faults = %v, clean = %v; want less",
+			faulted.Rounds[0].Completeness, clean.Rounds[0].Completeness)
+	}
+	if faulted.Rounds[1].GapIntervals <= clean.Rounds[1].GapIntervals {
+		t.Errorf("round 2 gaps under corrupt faults = %d, clean = %d; want more",
+			faulted.Rounds[1].GapIntervals, clean.Rounds[1].GapIntervals)
+	}
+	// The damage is part of durable controller state, not just the round
+	// report stream: statusz's last round carries the gap accounting.
+	last := faulted.Rounds[len(faulted.Rounds)-1]
+	if st.LastRound == nil || st.LastRound.GapIntervals != last.GapIntervals {
+		t.Errorf("statusz last round does not reflect gap accounting: %+v vs round %+v",
+			st.LastRound, last)
+	}
+}

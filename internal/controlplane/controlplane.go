@@ -1,0 +1,826 @@
+// Package controlplane runs the paper's offline tuning loop as an online
+// fleet service (§4–§6): node agents register with a central controller,
+// stream their 5-minute telemetry aggregates to it, and poll for the
+// control-plane parameters (K, S) they should run. The controller ingests
+// telemetry through bounded per-agent queues with explicit backpressure
+// and drop accounting, maintains a sharded fleet snapshot, and — every
+// time the ingested telemetry spans a full tuning window — compiles the
+// window into the fast far memory model, asks the GP-bandit for a new
+// candidate, and pushes it through staged deployment rings with a health
+// check after each ring and rollback on violation (tuner.StagedRollout
+// semantics, §5.3).
+//
+// The controller itself is transport-agnostic and driven entirely by the
+// telemetry it ingests: tuning rounds trigger on telemetry timestamps, not
+// the wall clock, so the same controller is byte-identical under the
+// deterministic in-process Loopback transport (simulated time, seeded,
+// fault-injectable — see RunSim) and merely eventually-consistent under
+// the real net/http transport served by cmd/sdfmd.
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sdfm/internal/core"
+	"sdfm/internal/histogram"
+	"sdfm/internal/model"
+	"sdfm/internal/obs"
+	"sdfm/internal/telemetry"
+	"sdfm/internal/tuner"
+)
+
+// Sentinel errors callers can branch on with errors.Is.
+var (
+	// ErrUnknownAgent rejects a report or poll from an agent that never
+	// registered (or was forgotten).
+	ErrUnknownAgent = errors.New("controlplane: unknown agent")
+	// ErrRoundInFlight rejects a forced round while another is running.
+	ErrRoundInFlight = errors.New("controlplane: tuning round already in flight")
+	// ErrNoTelemetry rejects a forced round on an empty window.
+	ErrNoTelemetry = errors.New("controlplane: no telemetry in the current window")
+	// ErrDraining rejects registrations and reports once Drain has begun.
+	ErrDraining = errors.New("controlplane: controller is draining")
+)
+
+// Config configures a Controller.
+type Config struct {
+	// SLO is the fleet promotion-rate SLO (default core.DefaultSLO).
+	SLO core.SLO
+	// Incumbent is the configuration agents start on (default
+	// core.DefaultParams).
+	Incumbent core.Params
+	// Thresholds is the predefined cold-age threshold set ingested entries
+	// must match (default telemetry.DefaultThresholds).
+	Thresholds []int
+	// ScanPeriodSeconds is the age quantum underlying the thresholds
+	// (default the production 120 s scan period).
+	ScanPeriodSeconds int64
+	// Tuner configures the per-round GP-bandit search. Its SLO and Space
+	// are defaulted from this config when zero. The Seed makes rounds
+	// deterministic; every round reuses the same seed so a round's
+	// decision depends only on its window's telemetry. Its Obs field is
+	// ignored (tuner instruments would be written outside the controller
+	// mutex and race scrapes); round outcomes are exported as sdfm_cp_*.
+	Tuner tuner.Config
+	// Stages are the deployment rings a candidate is pushed through
+	// (default tuner.DefaultRolloutStages).
+	Stages []tuner.RolloutStage
+	// Model configures the per-round fast-model replays (HistoryLen,
+	// Workers; Params and SLO are set per evaluation).
+	Model model.Config
+	// RoundEvery is the telemetry-time span of one tuning window: a round
+	// runs once the ingested window spans at least this much trace time
+	// (default 6 h). Rounds are driven by telemetry timestamps, never the
+	// wall clock.
+	RoundEvery time.Duration
+	// QueueCap bounds each agent's ingest queue, in entries; reports
+	// beyond it are dropped and accounted (default 8192).
+	QueueCap int
+	// BatchSize bounds how many entries one Tick drains per agent, so a
+	// single tick's work is bounded regardless of backlog (default 1024).
+	BatchSize int
+	// Shards is the fleet-snapshot shard count (default 8). Jobs hash to
+	// shards; each shard holds its jobs' window entries and latest state.
+	Shards int
+	// Obs, when set, exports sdfm_cp_* metrics. All controller metric
+	// writes happen under the controller mutex, so render scrapes through
+	// Controller.RenderMetrics to serialize with them.
+	Obs *obs.Observer
+	// OnRound, when set, is called after each completed tuning round,
+	// outside the controller mutex.
+	OnRound func(RoundReport)
+}
+
+func (c *Config) fillDefaults() {
+	if c.SLO == (core.SLO{}) {
+		c.SLO = core.DefaultSLO
+	}
+	if c.Incumbent == (core.Params{}) {
+		c.Incumbent = core.DefaultParams
+	}
+	if c.Thresholds == nil {
+		c.Thresholds = append([]int(nil), telemetry.DefaultThresholds...)
+	}
+	if c.ScanPeriodSeconds == 0 {
+		c.ScanPeriodSeconds = int64(histogram.DefaultScanPeriod / time.Second)
+	}
+	if c.Tuner.SLO == (core.SLO{}) {
+		c.Tuner.SLO = c.SLO
+	}
+	if len(c.Stages) == 0 {
+		c.Stages = tuner.DefaultRolloutStages
+	}
+	if c.Model.SLO == (core.SLO{}) {
+		c.Model.SLO = c.SLO
+	}
+	if c.RoundEvery == 0 {
+		c.RoundEvery = 6 * time.Hour
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 8192
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1024
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	d := c
+	d.fillDefaults()
+	if err := d.SLO.Validate(); err != nil {
+		return err
+	}
+	if err := d.Incumbent.Validate(); err != nil {
+		return err
+	}
+	if err := d.Tuner.Validate(); err != nil {
+		return err
+	}
+	if c.RoundEvery < 0 {
+		return fmt.Errorf("controlplane: negative RoundEvery %v", c.RoundEvery)
+	}
+	if c.QueueCap < 0 || c.BatchSize < 0 || c.Shards < 0 {
+		return fmt.Errorf("controlplane: negative queue/batch/shard size (%d/%d/%d)",
+			c.QueueCap, c.BatchSize, c.Shards)
+	}
+	for _, st := range d.Stages {
+		if st.Fraction <= 0 || st.Fraction > 1 {
+			return fmt.Errorf("controlplane: stage %q has invalid fraction %v", st.Name, st.Fraction)
+		}
+	}
+	return nil
+}
+
+// agentState is one registered agent's server-side state.
+type agentState struct {
+	id      string
+	queue   []telemetry.Entry // bounded by Config.QueueCap
+	dropped uint64            // backpressure drops, lifetime
+	reports uint64
+	lastTS  int64 // newest reported entry timestamp
+	params  core.Params
+	epoch   int64
+}
+
+// jobSnap is the fleet snapshot's per-job state: what the controller
+// knows about a job independent of the current tuning window.
+type jobSnap struct {
+	LastTimestampSec int64  `json:"last_timestamp_sec"`
+	Intervals        int    `json:"intervals"`
+	LastWSSPages     uint64 `json:"last_wss_pages"`
+	LastTotalPages   uint64 `json:"last_total_pages"`
+}
+
+// shard is one slice of the fleet snapshot. Jobs hash to shards, so both
+// the per-job state maps and the window entry buffers stay small and a
+// future multi-goroutine ingest can partition cleanly.
+type shard struct {
+	entries []telemetry.Entry // current window, ingest order
+	jobs    map[telemetry.JobKey]*jobSnap
+}
+
+// cpMetrics holds the controller's instrument handles (nil-safe when
+// observability is off).
+type cpMetrics struct {
+	agents      *obs.Gauge
+	reports     *obs.Counter
+	received    *obs.Counter
+	ingested    *obs.Counter
+	dropped     *obs.Counter // backpressure
+	rejCorrupt  *obs.Counter
+	rejInvalid  *obs.Counter
+	queueDepth  *obs.Gauge
+	rounds      *obs.Counter
+	rollbacks   *obs.Counter
+	stagePushes *obs.Counter
+	tunerEvals  *obs.Counter
+	epoch       *obs.Gauge
+	deployedK   *obs.Gauge
+	deployedS   *obs.Gauge
+	gaps        *obs.Gauge
+	complete    *obs.Gauge
+	coverage    *obs.Gauge
+	p98         *obs.Gauge
+}
+
+// Controller is the fleet control plane: agent registry, bounded
+// telemetry ingest, sharded fleet snapshot, and the periodic
+// tune-and-push loop. All exported methods are safe for concurrent use;
+// under the single-threaded Loopback transport the controller is fully
+// deterministic.
+type Controller struct {
+	cfg      Config
+	roundSec int64
+
+	mu        sync.Mutex
+	agents    map[string]*agentState
+	ids       []string // sorted; ring assignment is a prefix of this
+	shards    []shard
+	incumbent core.Params
+	epoch     int64
+	draining  bool
+
+	windowStart   int64 // first entry timestamp of the window; -1 when empty
+	windowMax     int64
+	windowEntries int
+
+	roundInFlight bool
+	rounds        []RoundReport
+
+	// lifetime ingest counters (mirrored to metrics when enabled)
+	nReports, nReceived, nIngested, nDropped, nCorrupt, nInvalid uint64
+
+	m cpMetrics
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	cfg.Tuner.Obs = nil // see Config.Tuner: tuner instruments would race scrapes
+	c := &Controller{
+		cfg:         cfg,
+		roundSec:    int64(cfg.RoundEvery / time.Second),
+		agents:      make(map[string]*agentState),
+		shards:      make([]shard, cfg.Shards),
+		incumbent:   cfg.Incumbent,
+		windowStart: -1,
+	}
+	for i := range c.shards {
+		c.shards[i].jobs = make(map[telemetry.JobKey]*jobSnap)
+	}
+	if o := cfg.Obs; o != nil {
+		c.m = cpMetrics{
+			agents:      o.Gauge("sdfm_cp_agents", "Registered node agents."),
+			reports:     o.Counter("sdfm_cp_reports_total", "Telemetry reports received."),
+			received:    o.Counter("sdfm_cp_entries_received_total", "Telemetry entries received in reports."),
+			ingested:    o.Counter("sdfm_cp_entries_ingested_total", "Entries accepted into the fleet snapshot."),
+			dropped:     o.Counter("sdfm_cp_entries_dropped_total", "Entries dropped by per-agent queue backpressure.", obs.Label{Key: "reason", Value: "backpressure"}),
+			rejCorrupt:  o.Counter("sdfm_cp_entries_rejected_total", "Entries rejected at ingest validation.", obs.Label{Key: "reason", Value: "corrupt"}),
+			rejInvalid:  o.Counter("sdfm_cp_entries_rejected_total", "Entries rejected at ingest validation.", obs.Label{Key: "reason", Value: "invalid"}),
+			queueDepth:  o.Gauge("sdfm_cp_queue_depth", "Entries queued across all agents."),
+			rounds:      o.Counter("sdfm_cp_rounds_total", "Completed tuning rounds."),
+			rollbacks:   o.Counter("sdfm_cp_rollbacks_total", "Tuning rounds that rolled back to the incumbent."),
+			stagePushes: o.Counter("sdfm_cp_stage_pushes_total", "Per-stage parameter pushes to agent rings."),
+			tunerEvals:  o.Counter("sdfm_cp_tuner_evals_total", "GP-bandit objective evaluations across rounds."),
+			epoch:       o.Gauge("sdfm_cp_epoch", "Current parameter assignment epoch."),
+			deployedK:   o.Gauge("sdfm_cp_deployed_k", "Fleet-incumbent K percentile."),
+			deployedS:   o.Gauge("sdfm_cp_deployed_s_seconds", "Fleet-incumbent S warmup, seconds."),
+			gaps:        o.Gauge("sdfm_cp_round_gap_intervals", "Inferred missing intervals in the last round's window."),
+			complete:    o.Gauge("sdfm_cp_round_completeness", "Observed/(observed+missing) intervals in the last round's window."),
+			coverage:    o.Gauge("sdfm_cp_round_coverage", "Best-candidate coverage in the last round."),
+			p98:         o.Gauge("sdfm_cp_round_p98_rate", "Best-candidate p98 promotion rate in the last round."),
+		}
+		c.m.deployedK.Set(c.incumbent.K)
+		c.m.deployedS.Set(c.incumbent.S.Seconds())
+	}
+	return c, nil
+}
+
+// Incumbent returns the currently deployed fleet-wide configuration.
+func (c *Controller) Incumbent() core.Params {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incumbent
+}
+
+// Register adds an agent (idempotently) and returns its current
+// parameter assignment.
+func (c *Controller) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.AgentID == "" {
+		return RegisterResponse{}, fmt.Errorf("controlplane: empty agent id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return RegisterResponse{}, ErrDraining
+	}
+	a, ok := c.agents[req.AgentID]
+	if !ok {
+		a = &agentState{id: req.AgentID, params: c.incumbent, epoch: c.epoch, lastTS: -1}
+		c.agents[req.AgentID] = a
+		i := sort.SearchStrings(c.ids, req.AgentID)
+		c.ids = append(c.ids, "")
+		copy(c.ids[i+1:], c.ids[i:])
+		c.ids[i] = req.AgentID
+		c.m.agents.SetInt(len(c.ids))
+	}
+	return RegisterResponse{Params: a.params, Epoch: a.epoch}, nil
+}
+
+// Report enqueues an agent's telemetry entries onto its bounded queue.
+// Entries beyond the queue's free capacity are dropped and accounted —
+// the response's Dropped and QueueFree fields are the explicit
+// backpressure signal (an agent seeing drops should slow down or shed
+// load; the controller never blocks an ingest call).
+func (c *Controller) Report(req ReportRequest) (ReportResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return ReportResponse{}, ErrDraining
+	}
+	a, ok := c.agents[req.AgentID]
+	if !ok {
+		return ReportResponse{}, fmt.Errorf("%w: %q", ErrUnknownAgent, req.AgentID)
+	}
+	a.reports++
+	c.nReports++
+	c.nReceived += uint64(len(req.Entries))
+	c.m.reports.Inc()
+	c.m.received.AddInt(len(req.Entries))
+	free := c.cfg.QueueCap - len(a.queue)
+	if free < 0 {
+		free = 0
+	}
+	accepted := len(req.Entries)
+	if accepted > free {
+		accepted = free
+	}
+	a.queue = append(a.queue, req.Entries[:accepted]...)
+	dropped := len(req.Entries) - accepted
+	a.dropped += uint64(dropped)
+	c.nDropped += uint64(dropped)
+	c.m.dropped.AddInt(dropped)
+	for _, e := range req.Entries[:accepted] {
+		if e.TimestampSec > a.lastTS {
+			a.lastTS = e.TimestampSec
+		}
+	}
+	c.m.queueDepth.Add(float64(accepted))
+	return ReportResponse{
+		Accepted:  accepted,
+		Dropped:   dropped,
+		QueueFree: c.cfg.QueueCap - len(a.queue),
+		Epoch:     c.epoch,
+	}, nil
+}
+
+// Poll returns an agent's current parameter assignment and epoch.
+func (c *Controller) Poll(req PollRequest) (PollResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.agents[req.AgentID]
+	if !ok {
+		return PollResponse{}, fmt.Errorf("%w: %q", ErrUnknownAgent, req.AgentID)
+	}
+	return PollResponse{Params: a.params, Epoch: a.epoch, Incumbent: c.incumbent}, nil
+}
+
+// TickReport summarizes one Tick.
+type TickReport struct {
+	// Drained entries moved from agent queues into the fleet snapshot.
+	Drained int
+	// RejectedCorrupt / RejectedInvalid entries failed checksum or schema
+	// validation and were dropped with accounting.
+	RejectedCorrupt int
+	RejectedInvalid int
+	// Remaining entries still queued after this tick (batch bound hit).
+	Remaining int
+	// RoundRan reports whether this tick's window crossed RoundEvery and
+	// a tuning round was executed.
+	RoundRan bool
+	Round    *RoundReport
+}
+
+// Tick drains agent queues into the sharded fleet snapshot — at most
+// BatchSize entries per agent, in sorted agent order, so one tick's work
+// is bounded and deterministic — validating every entry (schema and
+// checksum) and accounting rejects. When the drained window spans
+// RoundEvery of telemetry time, Tick runs a tuning round before
+// returning. The daemon calls Tick on a wall-clock ticker; deterministic
+// harnesses call it at interval boundaries.
+func (c *Controller) Tick() TickReport {
+	c.mu.Lock()
+	var rep TickReport
+	for _, id := range c.ids {
+		a := c.agents[id]
+		n := len(a.queue)
+		if n > c.cfg.BatchSize {
+			n = c.cfg.BatchSize
+		}
+		for _, e := range a.queue[:n] {
+			if err := e.Validate(len(c.cfg.Thresholds)); err != nil {
+				rep.RejectedInvalid++
+				c.nInvalid++
+				c.m.rejInvalid.Inc()
+				continue
+			}
+			if err := e.VerifyChecksum(); err != nil {
+				rep.RejectedCorrupt++
+				c.nCorrupt++
+				c.m.rejCorrupt.Inc()
+				continue
+			}
+			c.ingestLocked(e)
+			rep.Drained++
+		}
+		a.queue = append(a.queue[:0], a.queue[n:]...)
+		rep.Remaining += len(a.queue)
+	}
+	c.m.queueDepth.SetInt(rep.Remaining)
+	trigger := !c.roundInFlight && c.windowStart >= 0 &&
+		c.windowMax-c.windowStart >= c.roundSec
+	c.mu.Unlock()
+	if trigger {
+		if rr, err := c.runRound(); err == nil {
+			rep.RoundRan = true
+			rep.Round = &rr
+		}
+	}
+	return rep
+}
+
+// ingestLocked folds one validated entry into its job's shard.
+func (c *Controller) ingestLocked(e telemetry.Entry) {
+	s := &c.shards[shardFor(e.Key, len(c.shards))]
+	s.entries = append(s.entries, e)
+	js, ok := s.jobs[e.Key]
+	if !ok {
+		js = &jobSnap{}
+		s.jobs[e.Key] = js
+	}
+	js.Intervals++
+	if e.TimestampSec >= js.LastTimestampSec {
+		js.LastTimestampSec = e.TimestampSec
+		js.LastWSSPages = e.WSSPages
+		js.LastTotalPages = e.TotalPages
+	}
+	if c.windowStart < 0 {
+		c.windowStart = e.TimestampSec
+		c.windowMax = e.TimestampSec
+	} else if e.TimestampSec > c.windowMax {
+		c.windowMax = e.TimestampSec
+	}
+	c.windowEntries++
+	c.nIngested++
+	c.m.ingested.Inc()
+}
+
+// shardFor hashes a job key onto a shard index.
+func shardFor(k telemetry.JobKey, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(k.Cluster))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Machine))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Job))
+	return int(h.Sum32() % uint32(n))
+}
+
+// RoundReport is the outcome of one tuning round: the window it judged,
+// the GP-bandit's candidate, and the staged-rollout decision.
+type RoundReport struct {
+	Round          int   `json:"round"`
+	WindowStartSec int64 `json:"window_start_sec"`
+	WindowEndSec   int64 `json:"window_end_sec"`
+	Entries        int   `json:"entries"`
+	Jobs           int   `json:"jobs"`
+	TunerEvals     int   `json:"tuner_evals"`
+
+	Candidate core.Params `json:"candidate"`
+	Chosen    core.Params `json:"chosen"`
+	Accepted  bool        `json:"accepted"`
+	// RolledBackAt names the failing deployment ring ("" on acceptance).
+	RolledBackAt string              `json:"rolled_back_at,omitempty"`
+	Reason       string              `json:"reason"`
+	Stages       []tuner.StageReport `json:"-"`
+
+	// Coverage and P98Rate are the best candidate's full-window results;
+	// GapIntervals and Completeness carry the window's telemetry holes
+	// (drop faults, agent restarts) into controller state, so a rollout
+	// decision is always paired with how complete the data behind it was.
+	Coverage     float64 `json:"coverage"`
+	P98Rate      float64 `json:"p98_rate"`
+	GapIntervals int     `json:"gap_intervals"`
+	Completeness float64 `json:"completeness"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// roundWindow is the snapshot a round judges, extracted under the mutex.
+type roundWindow struct {
+	trace    *telemetry.Trace
+	startSec int64
+	endSec   int64
+	entries  int
+}
+
+// beginRoundLocked drains the window entries out of the shards into a
+// trace and resets the window. Entries ingested after this snapshot
+// belong to the next round.
+func (c *Controller) beginRoundLocked() roundWindow {
+	w := roundWindow{
+		trace: &telemetry.Trace{
+			ScanPeriodSeconds: c.cfg.ScanPeriodSeconds,
+			Thresholds:        append([]int(nil), c.cfg.Thresholds...),
+		},
+		startSec: c.windowStart,
+		endSec:   c.windowMax,
+		entries:  c.windowEntries,
+	}
+	for i := range c.shards {
+		w.trace.Entries = append(w.trace.Entries, c.shards[i].entries...)
+		c.shards[i].entries = nil
+	}
+	c.windowStart = -1
+	c.windowMax = 0
+	c.windowEntries = 0
+	c.roundInFlight = true
+	return w
+}
+
+// RunRound forces a tuning round on the current window regardless of its
+// span. Rounds normally trigger from Tick when the window spans
+// RoundEvery; this is the admin override (cmd/sdfmd's POST /v1/round) and
+// the drain-time flush hook.
+func (c *Controller) RunRound() (RoundReport, error) {
+	return c.runRound()
+}
+
+func (c *Controller) runRound() (RoundReport, error) {
+	c.mu.Lock()
+	if c.roundInFlight {
+		c.mu.Unlock()
+		return RoundReport{}, ErrRoundInFlight
+	}
+	if c.windowEntries == 0 {
+		c.mu.Unlock()
+		return RoundReport{}, ErrNoTelemetry
+	}
+	w := c.beginRoundLocked()
+	incumbent := c.incumbent
+	c.mu.Unlock()
+
+	rr := c.executeRound(w, incumbent)
+
+	c.mu.Lock()
+	rr.Round = len(c.rounds) + 1
+	c.incumbent = rr.Chosen
+	c.rounds = append(c.rounds, rr)
+	c.roundInFlight = false
+	c.m.rounds.Inc()
+	if !rr.Accepted {
+		c.m.rollbacks.Inc()
+	}
+	c.m.tunerEvals.AddInt(rr.TunerEvals)
+	c.m.deployedK.Set(rr.Chosen.K)
+	c.m.deployedS.Set(rr.Chosen.S.Seconds())
+	c.m.gaps.SetInt(rr.GapIntervals)
+	c.m.complete.Set(rr.Completeness)
+	c.m.coverage.Set(rr.Coverage)
+	c.m.p98.Set(rr.P98Rate)
+	c.mu.Unlock()
+	if c.cfg.OnRound != nil {
+		c.cfg.OnRound(rr)
+	}
+	return rr, nil
+}
+
+// executeRound runs the tune-and-push pipeline on one window. It holds no
+// locks during model compilation and GP search; stage pushes re-acquire
+// the mutex briefly to move agent rings.
+func (c *Controller) executeRound(w roundWindow, incumbent core.Params) RoundReport {
+	rr := RoundReport{
+		WindowStartSec: w.startSec,
+		WindowEndSec:   w.endSec,
+		Entries:        w.entries,
+		Chosen:         incumbent,
+	}
+	ct := model.Compile(w.trace)
+	rr.Jobs = ct.Jobs()
+	mcfg := c.cfg.Model
+	obj := func(p core.Params) (model.FleetResult, error) {
+		mc := mcfg
+		mc.Params = p
+		return ct.Run(mc)
+	}
+	res, err := tuner.Autotune(obj, c.cfg.Tuner)
+	rr.TunerEvals = len(res.History)
+	if err != nil {
+		rr.Reason = "autotune failed; incumbent retained"
+		rr.Err = err.Error()
+		return rr
+	}
+	rr.Candidate = res.Best.Params
+	rr.Coverage = res.Best.Result.Coverage
+	rr.P98Rate = res.Best.Result.P98Rate
+	rr.GapIntervals = res.Best.Result.GapIntervals
+	rr.Completeness = res.Best.Result.Completeness
+
+	// Staged push: each ring's health check replays that ring's slice of
+	// the window, and the ring's agents are switched to the candidate
+	// *before* the check — mid-stage state agents observe through Poll.
+	stageObj := tuner.TraceStageObjective(w.trace, mcfg, len(c.cfg.Stages))
+	push := func(p core.Params, st tuner.RolloutStage, idx int) (model.FleetResult, error) {
+		c.assignFraction(p, st.Fraction)
+		return stageObj(p, st, idx)
+	}
+	dep, err := tuner.StagedRollout(res.Best.Params, incumbent, push, c.cfg.Stages, c.cfg.SLO)
+	if err != nil {
+		// Objective failure: pull every ring back to the incumbent.
+		c.assignFraction(incumbent, 1)
+		rr.Reason = "staged rollout objective failed; incumbent restored"
+		rr.Err = err.Error()
+		return rr
+	}
+	rr.Stages = dep.Stages
+	rr.Accepted = dep.Accepted
+	rr.Chosen = dep.Chosen
+	rr.RolledBackAt = dep.RolledBackAt
+	if dep.Accepted {
+		rr.Reason = fmt.Sprintf("accepted after %d stages", len(dep.Stages))
+	} else {
+		last := dep.Stages[len(dep.Stages)-1]
+		rr.Reason = fmt.Sprintf("rolled back at %q: %s", dep.RolledBackAt, last.Reason)
+		if dep.Err != nil {
+			rr.Err = dep.Err.Error()
+		}
+	}
+	// Converge every agent onto the decision: the accepted candidate
+	// fleet-wide, or the incumbent after a rollback.
+	c.assignFraction(rr.Chosen, 1)
+	return rr
+}
+
+// assignFraction moves the first ceil(frac × agents) agents (sorted by
+// ID — ring membership is a stable prefix, so canary agents stay in every
+// later ring) onto p. The epoch advances only when an assignment actually
+// changed.
+func (c *Controller) assignFraction(p core.Params, frac float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := int(math.Ceil(frac * float64(len(c.ids))))
+	if n > len(c.ids) {
+		n = len(c.ids)
+	}
+	changed := false
+	for _, id := range c.ids[:n] {
+		if a := c.agents[id]; a.params != p {
+			a.params = p
+			changed = true
+		}
+	}
+	if changed {
+		c.epoch++
+		for _, id := range c.ids[:n] {
+			c.agents[id].epoch = c.epoch
+		}
+		c.m.epoch.Set(float64(c.epoch))
+	}
+	c.m.stagePushes.Inc()
+}
+
+// Rounds returns the completed round reports, oldest first.
+func (c *Controller) Rounds() []RoundReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RoundReport(nil), c.rounds...)
+}
+
+// DrainReport summarizes a graceful drain.
+type DrainReport struct {
+	// Drained entries flushed from agent queues during the drain.
+	Drained int
+	// RejectedCorrupt/RejectedInvalid entries dropped during the drain.
+	RejectedCorrupt int
+	RejectedInvalid int
+	// Ticks taken to empty every queue.
+	Ticks int
+}
+
+// Drain flushes every agent queue into the fleet snapshot — looping Tick
+// until no entries remain, batch bounds included — and stops accepting
+// new registrations and reports. It is the graceful-shutdown hook: after
+// the HTTP server stops accepting connections, Drain guarantees every
+// in-flight batch already acknowledged to an agent reaches the snapshot
+// (and is judged by the next round) instead of dying in a queue.
+func (c *Controller) Drain() DrainReport {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	var rep DrainReport
+	for {
+		t := c.Tick()
+		rep.Drained += t.Drained
+		rep.RejectedCorrupt += t.RejectedCorrupt
+		rep.RejectedInvalid += t.RejectedInvalid
+		rep.Ticks++
+		if t.Remaining == 0 {
+			return rep
+		}
+	}
+}
+
+// AgentStatus is one agent's statusz row.
+type AgentStatus struct {
+	ID            string      `json:"id"`
+	QueueDepth    int         `json:"queue_depth"`
+	Dropped       uint64      `json:"dropped"`
+	Reports       uint64      `json:"reports"`
+	LastReportSec int64       `json:"last_report_sec"`
+	Params        core.Params `json:"params"`
+	Epoch         int64       `json:"epoch"`
+}
+
+// ShardStatus is one fleet-snapshot shard's statusz row.
+type ShardStatus struct {
+	Jobs          int `json:"jobs"`
+	WindowEntries int `json:"window_entries"`
+}
+
+// IngestStats are the controller's lifetime ingest counters.
+type IngestStats struct {
+	Reports             uint64 `json:"reports"`
+	Received            uint64 `json:"received"`
+	Ingested            uint64 `json:"ingested"`
+	DroppedBackpressure uint64 `json:"dropped_backpressure"`
+	RejectedCorrupt     uint64 `json:"rejected_corrupt"`
+	RejectedInvalid     uint64 `json:"rejected_invalid"`
+}
+
+// Status is the controller's introspection snapshot (cmd/sdfmd's
+// /statusz).
+type Status struct {
+	Agents    []AgentStatus `json:"agents"`
+	Epoch     int64         `json:"epoch"`
+	Incumbent core.Params   `json:"incumbent"`
+	Draining  bool          `json:"draining"`
+
+	WindowStartSec int64 `json:"window_start_sec"`
+	WindowEndSec   int64 `json:"window_end_sec"`
+	WindowEntries  int   `json:"window_entries"`
+
+	Ingest IngestStats   `json:"ingest"`
+	Shards []ShardStatus `json:"shards"`
+
+	Rounds    int          `json:"rounds"`
+	LastRound *RoundReport `json:"last_round,omitempty"`
+}
+
+// Status returns a consistent snapshot of the controller's state.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Epoch:          c.epoch,
+		Incumbent:      c.incumbent,
+		Draining:       c.draining,
+		WindowStartSec: c.windowStart,
+		WindowEndSec:   c.windowMax,
+		WindowEntries:  c.windowEntries,
+		Ingest: IngestStats{
+			Reports:             c.nReports,
+			Received:            c.nReceived,
+			Ingested:            c.nIngested,
+			DroppedBackpressure: c.nDropped,
+			RejectedCorrupt:     c.nCorrupt,
+			RejectedInvalid:     c.nInvalid,
+		},
+		Rounds: len(c.rounds),
+	}
+	for _, id := range c.ids {
+		a := c.agents[id]
+		st.Agents = append(st.Agents, AgentStatus{
+			ID:            a.id,
+			QueueDepth:    len(a.queue),
+			Dropped:       a.dropped,
+			Reports:       a.reports,
+			LastReportSec: a.lastTS,
+			Params:        a.params,
+			Epoch:         a.epoch,
+		})
+	}
+	for i := range c.shards {
+		st.Shards = append(st.Shards, ShardStatus{
+			Jobs:          len(c.shards[i].jobs),
+			WindowEntries: len(c.shards[i].entries),
+		})
+	}
+	if len(c.rounds) > 0 {
+		last := c.rounds[len(c.rounds)-1]
+		st.LastRound = &last
+	}
+	return st
+}
+
+// RenderMetrics writes hub's Prometheus exposition while holding the
+// controller mutex, serializing the scrape against the controller's
+// metric writes (obs instruments are single-writer, not atomic).
+func (c *Controller) RenderMetrics(hub *obs.Multi, w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return hub.WritePrometheus(w)
+}

@@ -1,0 +1,293 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"sdfm/internal/obs"
+)
+
+// maxBodyBytes bounds a single request body (a report batch of a few
+// thousand entries fits comfortably; anything larger is an abusive or
+// broken client).
+const maxBodyBytes = 32 << 20
+
+// Server exposes a Controller over HTTP — the real-network counterpart
+// of Loopback, served by cmd/sdfmd:
+//
+//	POST /v1/register  {"agent_id": ...}            → RegisterResponse
+//	POST /v1/report    {"agent_id": ..., "entries"} → ReportResponse
+//	GET  /v1/poll?agent=ID                          → PollResponse
+//	POST /v1/round                                  → RoundReport (forced)
+//	GET  /statusz                                   → Status (JSON)
+//	GET  /metrics                                   → Prometheus text
+//	GET  /healthz                                   → "ok"
+type Server struct {
+	c   *Controller
+	hub *obs.Multi
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP facade. hub may be nil when metrics are
+// disabled; /metrics then serves an empty exposition.
+func NewServer(c *Controller, hub *obs.Multi) *Server {
+	s := &Server{c: c, hub: hub, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/register", s.handleRegister)
+	s.mux.HandleFunc("/v1/report", s.handleReport)
+	s.mux.HandleFunc("/v1/poll", s.handlePoll)
+	s.mux.HandleFunc("/v1/round", s.handleRound)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// Handler returns the server's route mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// httpStatusFor maps controller sentinels onto HTTP statuses.
+func httpStatusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownAgent):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrRoundInFlight), errors.Is(err, ErrNoTelemetry):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.c.Register(req)
+	if err != nil {
+		writeError(w, httpStatusFor(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ReportRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.c.Report(req)
+	if err != nil {
+		writeError(w, httpStatusFor(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp, err := s.c.Poll(PollRequest{AgentID: r.URL.Query().Get("agent")})
+	if err != nil {
+		writeError(w, httpStatusFor(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	rr, err := s.c.RunRound()
+	if err != nil {
+		writeError(w, httpStatusFor(err), err)
+		return
+	}
+	writeJSON(w, rr)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.c.Status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	// Render into a buffer under the controller mutex, then write outside
+	// it, so a slow scraper never stalls ingest.
+	var buf bytes.Buffer
+	if err := s.c.RenderMetrics(s.hub, &buf); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// Client speaks the Server's JSON protocol; it implements Transport, so
+// agent code written against Loopback works unchanged against a live
+// sdfmd.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8300".
+	Base string
+	// HTTP is the underlying client (default: 30 s timeout).
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (cl *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("controlplane: encoding %s request: %w", path, err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("controlplane: building %s request: %w", path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cl.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("controlplane: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return fmt.Errorf("controlplane: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("controlplane: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("controlplane: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Register implements Transport.
+func (cl *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := cl.do(ctx, http.MethodPost, "/v1/register", req, &resp)
+	return resp, err
+}
+
+// Report implements Transport.
+func (cl *Client) Report(ctx context.Context, req ReportRequest) (ReportResponse, error) {
+	var resp ReportResponse
+	err := cl.do(ctx, http.MethodPost, "/v1/report", req, &resp)
+	return resp, err
+}
+
+// Poll implements Transport.
+func (cl *Client) Poll(ctx context.Context, req PollRequest) (PollResponse, error) {
+	var resp PollResponse
+	err := cl.do(ctx, http.MethodGet, "/v1/poll?agent="+url.QueryEscape(req.AgentID), nil, &resp)
+	return resp, err
+}
+
+// ForceRound triggers a tuning round on whatever window the controller
+// holds (POST /v1/round).
+func (cl *Client) ForceRound(ctx context.Context) (RoundReport, error) {
+	var rr RoundReport
+	err := cl.do(ctx, http.MethodPost, "/v1/round", nil, &rr)
+	return rr, err
+}
+
+// Status fetches /statusz.
+func (cl *Client) Status(ctx context.Context) (Status, error) {
+	var st Status
+	err := cl.do(ctx, http.MethodGet, "/statusz", nil, &st)
+	return st, err
+}
+
+// Metrics fetches the raw /metrics exposition.
+func (cl *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := cl.HTTP.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("controlplane: /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("controlplane: /metrics: HTTP %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("controlplane: reading /metrics: %w", err)
+	}
+	return string(b), nil
+}

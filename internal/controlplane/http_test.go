@@ -1,0 +1,118 @@
+package controlplane
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdfm/internal/obs"
+)
+
+// TestHTTPTransportRoundTrip exercises the full JSON protocol through a
+// real HTTP server: register → report → tick → forced round → poll →
+// statusz → metrics, plus the error mapping. The Client implements
+// Transport, so the same Agent code used against Loopback drives it.
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	hub := obs.NewMulti(obs.Label{Key: "run", Value: "test"})
+	c := newTestController(t, Config{Obs: hub.Observer("controlplane")})
+	srv := httptest.NewServer(NewServer(c, hub).Handler())
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+
+	tr := testTrace(t, 1, 1, 3, 2*time.Hour, 4)
+	a := NewAgent("cluster-00/m0000", cl)
+	if err := a.Register(ctx); err != nil {
+		t.Fatalf("Register over HTTP: %v", err)
+	}
+	resp, err := a.Report(ctx, tr.Entries)
+	if err != nil {
+		t.Fatalf("Report over HTTP: %v", err)
+	}
+	if resp.Accepted != len(tr.Entries) || resp.Dropped != 0 {
+		t.Errorf("report = accepted %d dropped %d, want %d/0", resp.Accepted, resp.Dropped, len(tr.Entries))
+	}
+	c.Tick()
+
+	rr, err := cl.ForceRound(ctx)
+	if err != nil {
+		t.Fatalf("ForceRound: %v", err)
+	}
+	if rr.Round != 1 || rr.Entries != len(tr.Entries) {
+		t.Errorf("forced round = %+v, want round 1 over %d entries", rr, len(tr.Entries))
+	}
+
+	params, _, err := a.Poll(ctx)
+	if err != nil {
+		t.Fatalf("Poll over HTTP: %v", err)
+	}
+	if params != rr.Chosen {
+		t.Errorf("polled params %+v, round chose %+v", params, rr.Chosen)
+	}
+
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Rounds != 1 || len(st.Agents) != 1 || st.Incumbent != rr.Chosen {
+		t.Errorf("statusz = rounds %d agents %d incumbent %+v, want 1/1/%+v",
+			st.Rounds, len(st.Agents), st.Incumbent, rr.Chosen)
+	}
+
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{"sdfm_cp_agents", "sdfm_cp_rounds_total", "sdfm_cp_deployed_k"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	ctx := context.Background()
+	c := newTestController(t, Config{})
+	srv := httptest.NewServer(NewServer(c, nil).Handler())
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+
+	// Unknown agent → 404.
+	if _, err := cl.Poll(ctx, PollRequest{AgentID: "ghost"}); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("poll of unknown agent: err = %v, want HTTP 404", err)
+	}
+	// Empty window → 409.
+	if _, err := cl.ForceRound(ctx); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("forced round on empty window: err = %v, want HTTP 409", err)
+	}
+	// Wrong method → 405 with Allow.
+	resp, err := http.Get(srv.URL + "/v1/register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("GET /v1/register = %d Allow=%q, want 405 Allow=POST", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+	// Malformed body → 400.
+	resp, err = http.Post(srv.URL+"/v1/register", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed register body = %d, want 400", resp.StatusCode)
+	}
+	// Health endpoint is always up.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+}

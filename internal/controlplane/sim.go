@@ -1,0 +1,124 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"sdfm/internal/fault"
+	"sdfm/internal/telemetry"
+)
+
+// SimConfig configures a deterministic loopback fleet run.
+type SimConfig struct {
+	// Faults, when set, damages the agent→controller stream exactly the
+	// way a lossy collection pipeline would: entries inside
+	// fault.TelemetryDrop windows never reach the controller (the model
+	// later sees the hole as gap intervals) and entries inside
+	// fault.TelemetryCorrupt windows arrive bit-flipped with stale
+	// checksums (ingest validation rejects and accounts them). Nil leaves
+	// the stream undamaged.
+	Faults *fault.Plan
+}
+
+// SimReport summarizes a loopback run.
+type SimReport struct {
+	Agents    int
+	Intervals int
+	// Sent entries left the agents (post-drop); WireDropped never did;
+	// WireCorrupted arrived damaged.
+	Sent          int
+	WireDropped   int
+	WireCorrupted int
+	// Accepted / BackpressureDropped are the controller's queue-level
+	// accounting, summed over every report.
+	Accepted            int
+	BackpressureDropped int
+	// Rounds are the tuning rounds completed during the run.
+	Rounds []RoundReport
+}
+
+// RunSim replays a telemetry trace through the controller over the
+// Loopback transport as if a fleet of live agents had streamed it: one
+// agent per (cluster, machine), entries delivered interval by interval in
+// timestamp order, one controller Tick per interval — the discrete-time
+// equivalent of the daemon's wall-clock ticking. Everything is
+// single-threaded and seeded, so two runs of the same trace, config, and
+// fault plan are byte-identical, faults included.
+func RunSim(c *Controller, trace *telemetry.Trace, cfg SimConfig) (SimReport, error) {
+	if err := cfg.Faults.Validate(); err != nil {
+		return SimReport{}, err
+	}
+	ctx := context.Background()
+	lb := NewLoopback(c)
+
+	// Group entries by interval end, preserving trace order within each
+	// (timestamp, agent) cell.
+	type cell struct {
+		agent string
+		ts    int64
+	}
+	groups := make(map[cell][]telemetry.Entry)
+	tsSeen := make(map[int64]bool)
+	agentSeen := make(map[string]bool)
+	var tsList []int64
+	var agentIDs []string
+	for _, e := range trace.Entries {
+		id := e.Key.Cluster + "/" + e.Key.Machine
+		if !tsSeen[e.TimestampSec] {
+			tsSeen[e.TimestampSec] = true
+			tsList = append(tsList, e.TimestampSec)
+		}
+		if !agentSeen[id] {
+			agentSeen[id] = true
+			agentIDs = append(agentIDs, id)
+		}
+		k := cell{agent: id, ts: e.TimestampSec}
+		groups[k] = append(groups[k], e)
+	}
+	sort.Slice(tsList, func(i, j int) bool { return tsList[i] < tsList[j] })
+	sort.Strings(agentIDs)
+
+	rep := SimReport{Agents: len(agentIDs), Intervals: len(tsList)}
+	agents := make(map[string]*Agent, len(agentIDs))
+	for _, id := range agentIDs {
+		a := NewAgent(id, lb)
+		if err := a.Register(ctx); err != nil {
+			return rep, fmt.Errorf("controlplane: registering sim agent %s: %w", id, err)
+		}
+		agents[id] = a
+	}
+
+	filter := fault.NewTraceFilter(cfg.Faults)
+	for _, ts := range tsList {
+		for _, id := range agentIDs {
+			raw := groups[cell{agent: id, ts: ts}]
+			if len(raw) == 0 {
+				continue
+			}
+			batch := make([]telemetry.Entry, 0, len(raw))
+			for _, e := range raw {
+				if damaged, keep := filter.Apply(e); keep {
+					batch = append(batch, damaged)
+				}
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			resp, err := agents[id].Report(ctx, batch)
+			if err != nil {
+				return rep, fmt.Errorf("controlplane: sim agent %s report at t=%ds: %w", id, ts, err)
+			}
+			rep.Sent += len(batch)
+			rep.Accepted += resp.Accepted
+			rep.BackpressureDropped += resp.Dropped
+		}
+		c.Tick()
+	}
+
+	dmg := filter.Damage()
+	rep.WireDropped = dmg.Dropped
+	rep.WireCorrupted = dmg.Corrupted
+	rep.Rounds = c.Rounds()
+	return rep, nil
+}

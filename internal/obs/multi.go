@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // Observer bundles the metrics registry and tracer for one domain: one
@@ -129,8 +130,9 @@ func Merge(ms ...*Multi) *Multi {
 }
 
 // WriteFiles dumps the Prometheus exposition to metricsPath and the Chrome
-// trace to tracePath. Either path may be empty to skip that export; a nil
-// Multi writes nothing. This is the CLI exit hook.
+// trace to tracePath, creating missing parent directories. Either path may
+// be empty to skip that export; a nil Multi writes nothing. This is the
+// CLI exit hook.
 func (m *Multi) WriteFiles(metricsPath, tracePath string) error {
 	if m == nil {
 		return nil
@@ -139,21 +141,26 @@ func (m *Multi) WriteFiles(metricsPath, tracePath string) error {
 		if path == "" {
 			return nil
 		}
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("obs: writing %s to %s: %w", what, path, err)
+			}
+		}
 		f, err := os.Create(path)
 		if err != nil {
-			return fmt.Errorf("obs: writing %s: %w", what, err)
+			return fmt.Errorf("obs: writing %s to %s: %w", what, path, err)
 		}
 		bw := bufio.NewWriter(f)
 		if err := render(bw); err != nil {
 			f.Close()
-			return fmt.Errorf("obs: writing %s: %w", what, err)
+			return fmt.Errorf("obs: writing %s to %s: %w", what, path, err)
 		}
 		if err := bw.Flush(); err != nil {
 			f.Close()
-			return fmt.Errorf("obs: writing %s: %w", what, err)
+			return fmt.Errorf("obs: writing %s to %s: %w", what, path, err)
 		}
 		if err := f.Close(); err != nil {
-			return fmt.Errorf("obs: writing %s: %w", what, err)
+			return fmt.Errorf("obs: writing %s to %s: %w", what, path, err)
 		}
 		return nil
 	}

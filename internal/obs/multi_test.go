@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFilesCreatesParentDirs(t *testing.T) {
+	m := NewMulti(Label{Key: "run", Value: "test"})
+	m.Observer("p").Counter("x_total", "help").Inc()
+
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "out", "nested", "metrics.prom")
+	tracePath := filepath.Join(dir, "trace", "trace.json")
+	if err := m.WriteFiles(metricsPath, tracePath); err != nil {
+		t.Fatalf("WriteFiles into missing directories: %v", err)
+	}
+	b, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("reading metrics file: %v", err)
+	}
+	if !strings.Contains(string(b), "x_total") {
+		t.Errorf("metrics file missing registered counter:\n%s", b)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Errorf("trace file not written: %v", err)
+	}
+}
+
+func TestWriteFilesErrorNamesPath(t *testing.T) {
+	m := NewMulti()
+	// A path whose parent is a regular file cannot be created.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(file, "metrics.prom")
+	err := m.WriteFiles(bad, "")
+	if err == nil {
+		t.Fatal("WriteFiles under a regular file succeeded")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the target path %q", err, bad)
+	}
+}
+
+func TestWriteFilesSkipsEmptyAndNil(t *testing.T) {
+	var nilMulti *Multi
+	if err := nilMulti.WriteFiles("x", "y"); err != nil {
+		t.Errorf("nil Multi: %v", err)
+	}
+	if err := NewMulti().WriteFiles("", ""); err != nil {
+		t.Errorf("empty paths: %v", err)
+	}
+}

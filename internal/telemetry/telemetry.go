@@ -22,6 +22,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"sdfm/internal/histogram"
@@ -341,7 +342,11 @@ type EntrySink interface {
 // Collector accumulates per-job interval deltas for export. The node
 // agent feeds it cumulative promotion histograms; the collector converts
 // them to interval tails and appends each closed interval to its sink.
+// Record, Forget, and Resets are safe for concurrent use — one collector
+// can serve every job goroutine on a machine — but the sink sees appends
+// serialized under the collector's mutex, not concurrently.
 type Collector struct {
+	mu         sync.Mutex
 	sink       EntrySink
 	thresholds []int
 	trace      *Trace              // non-nil only for in-memory collectors
@@ -382,6 +387,8 @@ func (c *Collector) Record(key JobKey, now time.Duration, intervalMinutes float6
 	promoCumulative, census *histogram.Histogram, wssPages uint64) error {
 
 	promoTails := TailsAt(promoCumulative, c.thresholds)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if prev, ok := c.prevPromo[key]; ok {
 		regressed := false
 		for i := range promoTails {
@@ -418,12 +425,18 @@ func (c *Collector) Record(key JobKey, now time.Duration, intervalMinutes float6
 
 // Forget drops interval state for a job that has exited.
 func (c *Collector) Forget(key JobKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	delete(c.prevPromo, key)
 }
 
 // Resets reports how many times a backwards-moving cumulative counter
 // forced a baseline reset (daemon restarts observed by the collector).
-func (c *Collector) Resets() int { return c.resets }
+func (c *Collector) Resets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resets
+}
 
 // Trace returns the underlying trace for in-memory collectors, nil for
 // stream collectors (their entries are already at the sink).

@@ -33,6 +33,7 @@ import (
 
 	"sdfm/internal/audit"
 	"sdfm/internal/cluster"
+	"sdfm/internal/controlplane"
 	"sdfm/internal/core"
 	"sdfm/internal/fault"
 	"sdfm/internal/fleet"
@@ -428,6 +429,70 @@ func TraceStageObjective(trace *Trace, cfg ModelConfig, nStages int) StageObject
 	return tuner.TraceStageObjective(trace, cfg, nStages)
 }
 
+// Online fleet control plane: the §5.3 tuning loop as a long-lived
+// service (see internal/controlplane and cmd/sdfmd). Node agents register
+// with a central controller, stream telemetry through bounded queues with
+// explicit backpressure, and poll for the (K, S) parameters the staged
+// rollout has assigned to their ring.
+type (
+	// ControlPlane is the fleet controller: agent registry, bounded
+	// telemetry ingest, sharded fleet snapshot, and the periodic
+	// tune-and-push loop.
+	ControlPlane = controlplane.Controller
+	// ControlPlaneConfig configures a ControlPlane.
+	ControlPlaneConfig = controlplane.Config
+	// ControlPlaneStatus is the controller's introspection snapshot
+	// (cmd/sdfmd's /statusz).
+	ControlPlaneStatus = controlplane.Status
+	// ControlPlaneRound is the outcome of one online tuning round.
+	ControlPlaneRound = controlplane.RoundReport
+	// ControlPlaneTransport is the agent's connection to the controller;
+	// the deterministic in-process loopback and the net/http client
+	// implement it identically.
+	ControlPlaneTransport = controlplane.Transport
+	// ControlPlaneAgent is the node-side client of the control plane.
+	ControlPlaneAgent = controlplane.Agent
+	// ControlPlaneClient speaks the daemon's JSON protocol over HTTP.
+	ControlPlaneClient = controlplane.Client
+	// ControlPlaneServer exposes a controller over HTTP (cmd/sdfmd).
+	ControlPlaneServer = controlplane.Server
+	// ControlPlaneSimConfig configures a deterministic loopback fleet run.
+	ControlPlaneSimConfig = controlplane.SimConfig
+	// ControlPlaneSimReport summarizes a loopback fleet run.
+	ControlPlaneSimReport = controlplane.SimReport
+)
+
+// NewControlPlane builds a fleet controller.
+func NewControlPlane(cfg ControlPlaneConfig) (*ControlPlane, error) { return controlplane.New(cfg) }
+
+// NewControlPlaneAgent builds a node-side agent speaking over t.
+func NewControlPlaneAgent(id string, t ControlPlaneTransport) *ControlPlaneAgent {
+	return controlplane.NewAgent(id, t)
+}
+
+// NewControlPlaneLoopback wraps a controller in the deterministic
+// in-process transport: no goroutines, no clock, byte-identical runs.
+func NewControlPlaneLoopback(c *ControlPlane) ControlPlaneTransport {
+	return controlplane.NewLoopback(c)
+}
+
+// NewControlPlaneClient builds an HTTP client for a live sdfmd at base,
+// e.g. "http://127.0.0.1:8300".
+func NewControlPlaneClient(base string) *ControlPlaneClient { return controlplane.NewClient(base) }
+
+// NewControlPlaneServer builds the controller's HTTP facade; serve its
+// Handler. hub may be nil to disable /metrics.
+func NewControlPlaneServer(c *ControlPlane, hub *Obs) *ControlPlaneServer {
+	return controlplane.NewServer(c, hub)
+}
+
+// RunControlPlaneSim replays a telemetry trace through a controller over
+// the loopback transport as a simulated fleet of agents, optionally
+// damaging the stream with a fault plan's telemetry windows.
+func RunControlPlaneSim(c *ControlPlane, trace *Trace, cfg ControlPlaneSimConfig) (ControlPlaneSimReport, error) {
+	return controlplane.RunSim(c, trace, cfg)
+}
+
 // HandleStageObjective is TraceStageObjective for an opened trace file of
 // any format: store files stream each stage's slice chunk by chunk
 // (pruned by the footer's time index), so staged rollouts health-check
@@ -459,6 +524,16 @@ var (
 	// ErrNoObservations: a tuning run or rollout stage had nothing to
 	// judge health by.
 	ErrNoObservations = tuner.ErrNoObservations
+	// ErrUnknownAgent: a control-plane report or poll from an agent that
+	// never registered.
+	ErrUnknownAgent = controlplane.ErrUnknownAgent
+	// ErrRoundInFlight: a forced tuning round while another is running.
+	ErrRoundInFlight = controlplane.ErrRoundInFlight
+	// ErrNoTelemetry: a forced tuning round on an empty window.
+	ErrNoTelemetry = controlplane.ErrNoTelemetry
+	// ErrDraining: the control plane is shutting down and no longer
+	// accepts registrations or reports.
+	ErrDraining = controlplane.ErrDraining
 )
 
 // Observability: the fleet-wide metrics and tracing layer. Deterministic
