@@ -44,11 +44,45 @@ func main() {
 		queueCap   = flag.Int("queue-cap", 8192, "per-agent ingest queue bound, entries")
 		batch      = flag.Int("batch", 1024, "entries drained per agent per tick")
 		shards     = flag.Int("shards", 8, "fleet snapshot shard count")
+		stripes    = flag.Int("stripes", 16, "ingest lock-stripe count (agents hash to stripes)")
 		seed       = flag.Int64("seed", 1, "GP-bandit seed (reused every round)")
 		iterations = flag.Int("iterations", 15, "GP-bandit iterations per round")
 		stagesFlag = flag.String("stages", "", `deployment rings as "name=frac,..." (empty: canary/early/half/fleet)`)
+
+		loadgen        = flag.Bool("loadgen", false, "run as an ingest load generator against -target instead of serving")
+		target         = flag.String("target", "", "loadgen: daemon base URL (default http://<-addr>)")
+		loadgenAgents  = flag.Int("loadgen-agents", 32, "loadgen: concurrent reporting agents")
+		loadgenReports = flag.Int("loadgen-reports", 100, "loadgen: reports per agent")
+		loadgenBatch   = flag.Int("loadgen-batch", 64, "loadgen: entries per report")
+		loadgenJSON    = flag.Bool("loadgen-json", false, "loadgen: force JSON report bodies (default: negotiate binary)")
 	)
 	flag.Parse()
+
+	if *loadgen {
+		base := *target
+		if base == "" {
+			base = "http://" + *addr
+		}
+		enc := controlplane.EncodingAuto
+		if *loadgenJSON {
+			enc = controlplane.EncodingJSON
+		}
+		rep, err := runLoadgen(loadgenConfig{
+			Target:   base,
+			Agents:   *loadgenAgents,
+			Reports:  *loadgenReports,
+			Batch:    *loadgenBatch,
+			Encoding: enc,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loadgen: %d agents x %d reports x %d entries: sent=%d accepted=%d dropped=%d in %s (%.0f entries/s)",
+			*loadgenAgents, *loadgenReports, *loadgenBatch,
+			rep.Sent, rep.Accepted, rep.Dropped, rep.Elapsed.Round(time.Millisecond), rep.EntriesPerSec())
+		return
+	}
 
 	stages, err := parseStages(*stagesFlag)
 	if err != nil {
@@ -62,6 +96,7 @@ func main() {
 		QueueCap:   *queueCap,
 		BatchSize:  *batch,
 		Shards:     *shards,
+		Stripes:    *stripes,
 		Stages:     stages,
 		Tuner:      tuner.Config{Seed: *seed, Iterations: *iterations},
 		Obs:        observer,

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"sdfm/internal/controlplane"
+	"sdfm/internal/controlplane/wire"
+	"sdfm/internal/fleet"
+)
+
+// TestGracefulShutdownWithInFlightBinaryReports pins the drain
+// guarantee end to end over the binary wire format: agents hammer
+// /v1/report with application/x-sdfm-telemetry frames while the daemon
+// receives SIGTERM, and every entry the daemon *acked* must appear in
+// the final ingested count — an acked-then-dropped entry would be a
+// silent telemetry hole in the next tuning window.
+func TestGracefulShutdownWithInFlightBinaryReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	ctx := context.Background()
+	bin := filepath.Join(t.TempDir(), "sdfmd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building sdfmd: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin,
+		"-addr=127.0.0.1:0",
+		"-round-every=24h",
+		"-tick=10ms",
+		"-queue-cap=200000",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting sdfmd: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
+	var logMu sync.Mutex
+	var logLines []string
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			logLines = append(logLines, line)
+			logMu.Unlock()
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				addr, _, _ := strings.Cut(rest, " ")
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never announced its listen address")
+	}
+
+	tr, err := fleet.Generate(fleet.Config{
+		Clusters:           1,
+		MachinesPerCluster: 1,
+		JobsPerMachine:     3,
+		Duration:           time.Hour,
+		Interval:           5 * time.Minute,
+		Seed:               17,
+	})
+	if err != nil {
+		t.Fatalf("fleet.Generate: %v", err)
+	}
+
+	// Four agents report binary frames back-to-back until the daemon
+	// stops answering; acked counts only entries the daemon accepted.
+	const nAgents = 4
+	var acked atomic.Int64
+	var reporters sync.WaitGroup
+	stopReporting := make(chan struct{})
+	for i := 0; i < nAgents; i++ {
+		cl := controlplane.NewClient("http://" + addr)
+		id := fmt.Sprintf("drain/agent-%d", i)
+		reg, err := cl.Register(ctx, controlplane.RegisterRequest{AgentID: id})
+		if err != nil {
+			t.Fatalf("registering %s: %v", id, err)
+		}
+		if reg.Wire < wire.Version {
+			t.Fatalf("daemon advertised wire version %d, want >= %d", reg.Wire, wire.Version)
+		}
+		reporters.Add(1)
+		go func(cl *controlplane.Client, id string) {
+			defer reporters.Done()
+			for {
+				resp, err := cl.Report(ctx, controlplane.ReportRequest{
+					AgentID: id, Entries: tr.Entries,
+				})
+				if err != nil {
+					// Shutdown reached: connection refused or 503 draining.
+					return
+				}
+				acked.Add(int64(resp.Accepted))
+				select {
+				case <-stopReporting:
+					return
+				default:
+				}
+			}
+		}(cl, id)
+	}
+
+	// Let a real backlog build, then SIGTERM mid-hammer so reports are
+	// in flight while the listener closes and the drain runs.
+	deadline := time.Now().Add(20 * time.Second)
+	for acked.Load() < int64(10*len(tr.Entries)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("agents only got %d entries acked in 20s", acked.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stopReporting)
+	reporters.Wait()
+	ackedTotal := acked.Load()
+
+	select {
+	case <-scanDone:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not close stderr within 15s of SIGTERM")
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exited uncleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within 15s of SIGTERM")
+	}
+
+	logMu.Lock()
+	logs := strings.Join(logLines, "\n")
+	logMu.Unlock()
+	var ingested, dropped int64
+	found := false
+	for _, line := range strings.Split(logs, "\n") {
+		if _, rest, ok := strings.Cut(line, "final: "); ok {
+			var agents, rounds int
+			var k float64
+			var s string
+			if _, err := fmt.Sscanf(rest, "agents=%d rounds=%d ingested=%d dropped=%d incumbent=(K=%f,S=%s",
+				&agents, &rounds, &ingested, &dropped, &k, &s); err != nil {
+				t.Fatalf("parsing final line %q: %v", line, err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("daemon log has no final accounting line:\n%s", logs)
+	}
+	// The drain guarantee: every acked entry was ingested into the fleet
+	// snapshot before exit. (ingested can exceed ackedTotal: a report in
+	// flight at SIGTERM may be acked by the server after the client side
+	// stopped counting.)
+	if ingested < ackedTotal {
+		t.Errorf("daemon ingested %d entries but acked %d — acked telemetry was dropped during shutdown",
+			ingested, ackedTotal)
+	}
+	if !strings.Contains(logs, "drained") {
+		t.Errorf("daemon log missing drain line:\n%s", logs)
+	}
+}

@@ -10,22 +10,42 @@
 // check after each ring and rollback on violation (tuner.StagedRollout
 // semantics, §5.3).
 //
+// # Locking discipline
+//
+// The ingest path is built for "millions of machines" scale: the agent
+// registry and per-agent queues are split across lock-striped shards
+// (FNV-1a on agent ID), so concurrent Report calls from different agents
+// never contend, and a Report never touches the control mutex at all.
+// Lifetime ingest counters live per stripe and are summed on read. The
+// control mutex guards everything decision-shaped — the sorted agent ID
+// list, the fleet snapshot, the tuning window, the incumbent, round
+// state, and every obs instrument write. Lock order is always control
+// mutex → stripe mutex, and no stripe mutex is ever held while acquiring
+// the control mutex, so the two layers cannot deadlock. Tuning rounds
+// snapshot the window under the control mutex and then run
+// Compile→Autotune→StagedRollout with no locks held; stage pushes
+// re-acquire locks briefly to move agent rings.
+//
 // The controller itself is transport-agnostic and driven entirely by the
 // telemetry it ingests: tuning rounds trigger on telemetry timestamps, not
 // the wall clock, so the same controller is byte-identical under the
 // deterministic in-process Loopback transport (simulated time, seeded,
 // fault-injectable — see RunSim) and merely eventually-consistent under
-// the real net/http transport served by cmd/sdfmd.
+// the real net/http transport served by cmd/sdfmd. Tick drains the
+// striped queues in sorted-agent order, so round inputs are bit-identical
+// regardless of the stripe count.
 package controlplane
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"hash/fnv"
+
 	"io"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdfm/internal/core"
@@ -89,9 +109,15 @@ type Config struct {
 	// Shards is the fleet-snapshot shard count (default 8). Jobs hash to
 	// shards; each shard holds its jobs' window entries and latest state.
 	Shards int
+	// Stripes is the ingest lock-stripe count (default 16). Agents hash
+	// to stripes; Report calls from agents on different stripes proceed
+	// fully in parallel. The stripe count never affects round decisions —
+	// Tick drains in sorted-agent order regardless.
+	Stripes int
 	// Obs, when set, exports sdfm_cp_* metrics. All controller metric
-	// writes happen under the controller mutex, so render scrapes through
-	// Controller.RenderMetrics to serialize with them.
+	// writes happen under the control mutex; Controller.RenderMetrics
+	// snapshots the exposition into a buffer under that mutex and writes
+	// it out after releasing it, so a slow scraper never stalls anything.
 	Obs *obs.Observer
 	// OnRound, when set, is called after each completed tuning round,
 	// outside the controller mutex.
@@ -132,6 +158,9 @@ func (c *Config) fillDefaults() {
 	if c.Shards == 0 {
 		c.Shards = 8
 	}
+	if c.Stripes == 0 {
+		c.Stripes = 16
+	}
 }
 
 // Validate reports configuration errors.
@@ -150,9 +179,9 @@ func (c Config) Validate() error {
 	if c.RoundEvery < 0 {
 		return fmt.Errorf("controlplane: negative RoundEvery %v", c.RoundEvery)
 	}
-	if c.QueueCap < 0 || c.BatchSize < 0 || c.Shards < 0 {
-		return fmt.Errorf("controlplane: negative queue/batch/shard size (%d/%d/%d)",
-			c.QueueCap, c.BatchSize, c.Shards)
+	if c.QueueCap < 0 || c.BatchSize < 0 || c.Shards < 0 || c.Stripes < 0 {
+		return fmt.Errorf("controlplane: negative queue/batch/shard/stripe size (%d/%d/%d/%d)",
+			c.QueueCap, c.BatchSize, c.Shards, c.Stripes)
 	}
 	for _, st := range d.Stages {
 		if st.Fraction <= 0 || st.Fraction > 1 {
@@ -162,7 +191,8 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// agentState is one registered agent's server-side state.
+// agentState is one registered agent's server-side state, guarded by its
+// stripe's mutex.
 type agentState struct {
 	id      string
 	queue   []telemetry.Entry // bounded by Config.QueueCap
@@ -171,6 +201,22 @@ type agentState struct {
 	lastTS  int64 // newest reported entry timestamp
 	params  core.Params
 	epoch   int64
+}
+
+// stripe is one lock stripe of the agent registry: the agents that hash
+// to it, their queues, and this stripe's slice of the lifetime ingest
+// counters. Report touches exactly one stripe and nothing else, so the
+// ingest hot path scales with the stripe count instead of serializing on
+// a controller-wide mutex.
+type stripe struct {
+	mu     sync.Mutex
+	agents map[string]*agentState
+
+	// Lifetime ingest accounting for this stripe's agents; summed across
+	// stripes on read (Status, metric sync).
+	nReports, nReceived, nDropped uint64
+	// queued is the entries currently sitting in this stripe's queues.
+	queued int
 }
 
 // jobSnap is the fleet snapshot's per-job state: what the controller
@@ -183,8 +229,7 @@ type jobSnap struct {
 }
 
 // shard is one slice of the fleet snapshot. Jobs hash to shards, so both
-// the per-job state maps and the window entry buffers stay small and a
-// future multi-goroutine ingest can partition cleanly.
+// the per-job state maps and the window entry buffers stay small.
 type shard struct {
 	entries []telemetry.Entry // current window, ingest order
 	jobs    map[telemetry.JobKey]*jobSnap
@@ -214,22 +259,31 @@ type cpMetrics struct {
 	p98         *obs.Gauge
 }
 
-// Controller is the fleet control plane: agent registry, bounded
-// telemetry ingest, sharded fleet snapshot, and the periodic
+// Controller is the fleet control plane: lock-striped agent registry,
+// bounded telemetry ingest, sharded fleet snapshot, and the periodic
 // tune-and-push loop. All exported methods are safe for concurrent use;
 // under the single-threaded Loopback transport the controller is fully
-// deterministic.
+// deterministic. See the package comment for the locking discipline.
 type Controller struct {
 	cfg      Config
 	roundSec int64
 
+	stripes []stripe
+
+	// epoch mirrors the parameter-assignment epoch for lock-free reads on
+	// the Report path; it is only advanced under the control mutex.
+	epoch atomic.Int64
+	// draining seals ingest. Report checks it inside the stripe critical
+	// section, so Drain's stripe barrier (see Drain) guarantees no report
+	// is acknowledged after the final flush.
+	draining atomic.Bool
+
+	// mu is the control mutex — see the package comment. Everything below
+	// it is guarded by it.
 	mu        sync.Mutex
-	agents    map[string]*agentState
 	ids       []string // sorted; ring assignment is a prefix of this
 	shards    []shard
 	incumbent core.Params
-	epoch     int64
-	draining  bool
 
 	windowStart   int64 // first entry timestamp of the window; -1 when empty
 	windowMax     int64
@@ -238,8 +292,14 @@ type Controller struct {
 	roundInFlight bool
 	rounds        []RoundReport
 
-	// lifetime ingest counters (mirrored to metrics when enabled)
-	nReports, nReceived, nIngested, nDropped, nCorrupt, nInvalid uint64
+	// Tick-side lifetime counters (stripe-side ones live on the stripes).
+	nIngested, nCorrupt, nInvalid uint64
+
+	// synced mirrors the striped counters' last values pushed into the
+	// obs instruments, so syncs add exact deltas.
+	synced IngestStats
+
+	drainScratch []telemetry.Entry // Tick's per-agent drain buffer
 
 	m cpMetrics
 }
@@ -254,10 +314,13 @@ func New(cfg Config) (*Controller, error) {
 	c := &Controller{
 		cfg:         cfg,
 		roundSec:    int64(cfg.RoundEvery / time.Second),
-		agents:      make(map[string]*agentState),
+		stripes:     make([]stripe, cfg.Stripes),
 		shards:      make([]shard, cfg.Shards),
 		incumbent:   cfg.Incumbent,
 		windowStart: -1,
+	}
+	for i := range c.stripes {
+		c.stripes[i].agents = make(map[string]*agentState)
 	}
 	for i := range c.shards {
 		c.shards[i].jobs = make(map[telemetry.JobKey]*jobSnap)
@@ -290,6 +353,32 @@ func New(cfg Config) (*Controller, error) {
 	return c, nil
 }
 
+// FNV-1a 32 constants (hash/fnv's offset basis and prime). Both hashes
+// below hand-roll the hash with the state in a register: shardFor runs
+// once per ingested entry, where the hash.Hash32 indirection and
+// per-Write allocations were a measurable share of the drain path. The
+// values are bit-identical to the previous fnv.New32a implementations,
+// so shard and stripe assignment — and therefore window entry order and
+// round decisions — are unchanged.
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+)
+
+// fnv32String folds s into h.
+func fnv32String(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime32
+	}
+	return h
+}
+
+// stripeFor hashes an agent ID onto its lock stripe.
+func (c *Controller) stripeFor(agentID string) *stripe {
+	h := fnv32String(fnvOffset32, agentID)
+	return &c.stripes[h%uint32(len(c.stripes))]
+}
+
 // Incumbent returns the currently deployed fleet-wide configuration.
 func (c *Controller) Incumbent() core.Params {
 	c.mu.Lock()
@@ -298,20 +387,25 @@ func (c *Controller) Incumbent() core.Params {
 }
 
 // Register adds an agent (idempotently) and returns its current
-// parameter assignment.
+// parameter assignment. Registration is control-plane work (it mutates
+// the sorted ring-assignment list), so unlike Report it takes the
+// control mutex.
 func (c *Controller) Register(req RegisterRequest) (RegisterResponse, error) {
 	if req.AgentID == "" {
 		return RegisterResponse{}, fmt.Errorf("controlplane: empty agent id")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.draining {
+	if c.draining.Load() {
 		return RegisterResponse{}, ErrDraining
 	}
-	a, ok := c.agents[req.AgentID]
+	s := c.stripeFor(req.AgentID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.agents[req.AgentID]
 	if !ok {
-		a = &agentState{id: req.AgentID, params: c.incumbent, epoch: c.epoch, lastTS: -1}
-		c.agents[req.AgentID] = a
+		a = &agentState{id: req.AgentID, params: c.incumbent, epoch: c.epoch.Load(), lastTS: -1}
+		s.agents[req.AgentID] = a
 		i := sort.SearchStrings(c.ids, req.AgentID)
 		c.ids = append(c.ids, "")
 		copy(c.ids[i+1:], c.ids[i:])
@@ -326,21 +420,26 @@ func (c *Controller) Register(req RegisterRequest) (RegisterResponse, error) {
 // the response's Dropped and QueueFree fields are the explicit
 // backpressure signal (an agent seeing drops should slow down or shed
 // load; the controller never blocks an ingest call).
+//
+// This is the ingest hot path: it takes exactly one stripe mutex, never
+// the control mutex, so reports from agents on different stripes run
+// fully in parallel and no tuning round, metrics scrape, or statusz
+// snapshot ever stalls it.
 func (c *Controller) Report(req ReportRequest) (ReportResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.draining {
+	s := c.stripeFor(req.AgentID)
+	s.mu.Lock()
+	if c.draining.Load() {
+		s.mu.Unlock()
 		return ReportResponse{}, ErrDraining
 	}
-	a, ok := c.agents[req.AgentID]
+	a, ok := s.agents[req.AgentID]
 	if !ok {
+		s.mu.Unlock()
 		return ReportResponse{}, fmt.Errorf("%w: %q", ErrUnknownAgent, req.AgentID)
 	}
 	a.reports++
-	c.nReports++
-	c.nReceived += uint64(len(req.Entries))
-	c.m.reports.Inc()
-	c.m.received.AddInt(len(req.Entries))
+	s.nReports++
+	s.nReceived += uint64(len(req.Entries))
 	free := c.cfg.QueueCap - len(a.queue)
 	if free < 0 {
 		free = 0
@@ -352,27 +451,31 @@ func (c *Controller) Report(req ReportRequest) (ReportResponse, error) {
 	a.queue = append(a.queue, req.Entries[:accepted]...)
 	dropped := len(req.Entries) - accepted
 	a.dropped += uint64(dropped)
-	c.nDropped += uint64(dropped)
-	c.m.dropped.AddInt(dropped)
+	s.nDropped += uint64(dropped)
+	s.queued += accepted
 	for _, e := range req.Entries[:accepted] {
 		if e.TimestampSec > a.lastTS {
 			a.lastTS = e.TimestampSec
 		}
 	}
-	c.m.queueDepth.Add(float64(accepted))
-	return ReportResponse{
+	resp := ReportResponse{
 		Accepted:  accepted,
 		Dropped:   dropped,
 		QueueFree: c.cfg.QueueCap - len(a.queue),
-		Epoch:     c.epoch,
-	}, nil
+		Epoch:     c.epoch.Load(),
+	}
+	s.mu.Unlock()
+	return resp, nil
 }
 
 // Poll returns an agent's current parameter assignment and epoch.
 func (c *Controller) Poll(req PollRequest) (PollResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	a, ok := c.agents[req.AgentID]
+	s := c.stripeFor(req.AgentID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.agents[req.AgentID]
 	if !ok {
 		return PollResponse{}, fmt.Errorf("%w: %q", ErrUnknownAgent, req.AgentID)
 	}
@@ -396,22 +499,36 @@ type TickReport struct {
 }
 
 // Tick drains agent queues into the sharded fleet snapshot — at most
-// BatchSize entries per agent, in sorted agent order, so one tick's work
-// is bounded and deterministic — validating every entry (schema and
-// checksum) and accounting rejects. When the drained window spans
-// RoundEvery of telemetry time, Tick runs a tuning round before
-// returning. The daemon calls Tick on a wall-clock ticker; deterministic
-// harnesses call it at interval boundaries.
+// BatchSize entries per agent, in sorted agent order across all stripes,
+// so one tick's work is bounded and its ingest order (and therefore
+// every round's input) is deterministic regardless of the stripe count —
+// validating every entry (schema and checksum) and accounting rejects.
+// Each agent's stripe mutex is held only long enough to splice its batch
+// out of the queue; validation and snapshot folding run under the
+// control mutex alone, so concurrent Reports keep landing while a tick
+// digests. When the drained window spans RoundEvery of telemetry time,
+// Tick runs a tuning round before returning. The daemon calls Tick on a
+// wall-clock ticker; deterministic harnesses call it at interval
+// boundaries.
 func (c *Controller) Tick() TickReport {
 	c.mu.Lock()
 	var rep TickReport
+	scratch := c.drainScratch
 	for _, id := range c.ids {
-		a := c.agents[id]
+		s := c.stripeFor(id)
+		s.mu.Lock()
+		a := s.agents[id]
 		n := len(a.queue)
 		if n > c.cfg.BatchSize {
 			n = c.cfg.BatchSize
 		}
-		for _, e := range a.queue[:n] {
+		scratch = append(scratch[:0], a.queue[:n]...)
+		a.queue = append(a.queue[:0], a.queue[n:]...)
+		s.queued -= n
+		rep.Remaining += len(a.queue)
+		s.mu.Unlock()
+		for i := range scratch {
+			e := &scratch[i]
 			if err := e.Validate(len(c.cfg.Thresholds)); err != nil {
 				rep.RejectedInvalid++
 				c.nInvalid++
@@ -424,13 +541,12 @@ func (c *Controller) Tick() TickReport {
 				c.m.rejCorrupt.Inc()
 				continue
 			}
-			c.ingestLocked(e)
+			c.ingestLocked(*e)
 			rep.Drained++
 		}
-		a.queue = append(a.queue[:0], a.queue[n:]...)
-		rep.Remaining += len(a.queue)
 	}
-	c.m.queueDepth.SetInt(rep.Remaining)
+	c.drainScratch = scratch[:0]
+	c.syncIngestLocked()
 	trigger := !c.roundInFlight && c.windowStart >= 0 &&
 		c.windowMax-c.windowStart >= c.roundSec
 	c.mu.Unlock()
@@ -441,6 +557,43 @@ func (c *Controller) Tick() TickReport {
 		}
 	}
 	return rep
+}
+
+// ingestTotalsLocked sums the striped ingest counters into one view.
+// Caller holds the control mutex; each stripe mutex is taken briefly.
+func (c *Controller) ingestTotalsLocked() (IngestStats, int) {
+	var t IngestStats
+	queued := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		t.Reports += s.nReports
+		t.Received += s.nReceived
+		t.DroppedBackpressure += s.nDropped
+		queued += s.queued
+		s.mu.Unlock()
+	}
+	t.Ingested = c.nIngested
+	t.RejectedCorrupt = c.nCorrupt
+	t.RejectedInvalid = c.nInvalid
+	return t, queued
+}
+
+// syncIngestLocked mirrors the striped counters into the obs
+// instruments. All instrument writes stay under the control mutex
+// (instruments are single-writer, not atomic), and counters advance by
+// exact deltas since the last sync. Called from Tick, Status, and
+// RenderMetrics, so every scrape and snapshot observes fresh totals.
+func (c *Controller) syncIngestLocked() (IngestStats, int) {
+	t, queued := c.ingestTotalsLocked()
+	if c.cfg.Obs != nil {
+		c.m.reports.Add(float64(t.Reports - c.synced.Reports))
+		c.m.received.Add(float64(t.Received - c.synced.Received))
+		c.m.dropped.Add(float64(t.DroppedBackpressure - c.synced.DroppedBackpressure))
+		c.m.queueDepth.SetInt(queued)
+		c.synced = t
+	}
+	return t, queued
 }
 
 // ingestLocked folds one validated entry into its job's shard.
@@ -469,15 +622,13 @@ func (c *Controller) ingestLocked(e telemetry.Entry) {
 	c.m.ingested.Inc()
 }
 
-// shardFor hashes a job key onto a shard index.
+// shardFor hashes a job key onto a shard index (FNV-1a over the
+// NUL-separated key fields, bit-identical to the hash/fnv original).
 func shardFor(k telemetry.JobKey, n int) int {
-	h := fnv.New32a()
-	h.Write([]byte(k.Cluster))
-	h.Write([]byte{0})
-	h.Write([]byte(k.Machine))
-	h.Write([]byte{0})
-	h.Write([]byte(k.Job))
-	return int(h.Sum32() % uint32(n))
+	h := fnv32String(fnvOffset32, k.Cluster)
+	h = fnv32String(h*fnvPrime32, k.Machine) // h ^ 0 == h for the \0 separator
+	h = fnv32String(h*fnvPrime32, k.Job)
+	return int(h % uint32(n))
 }
 
 // RoundReport is the outcome of one tuning round: the window it judged,
@@ -550,6 +701,10 @@ func (c *Controller) RunRound() (RoundReport, error) {
 	return c.runRound()
 }
 
+// runRound snapshots the compiled window under the control mutex,
+// releases every lock, and runs the round pipeline with ingest fully
+// live: Reports land on their stripes and Ticks keep folding the *next*
+// window while this round's Compile→Autotune→StagedRollout churns.
 func (c *Controller) runRound() (RoundReport, error) {
 	c.mu.Lock()
 	if c.roundInFlight {
@@ -591,7 +746,7 @@ func (c *Controller) runRound() (RoundReport, error) {
 
 // executeRound runs the tune-and-push pipeline on one window. It holds no
 // locks during model compilation and GP search; stage pushes re-acquire
-// the mutex briefly to move agent rings.
+// the mutexes briefly to move agent rings.
 func (c *Controller) executeRound(w roundWindow, incumbent core.Params) RoundReport {
 	rr := RoundReport{
 		WindowStartSec: w.startSec,
@@ -668,17 +823,23 @@ func (c *Controller) assignFraction(p core.Params, frac float64) {
 	}
 	changed := false
 	for _, id := range c.ids[:n] {
-		if a := c.agents[id]; a.params != p {
+		s := c.stripeFor(id)
+		s.mu.Lock()
+		if a := s.agents[id]; a.params != p {
 			a.params = p
 			changed = true
 		}
+		s.mu.Unlock()
 	}
 	if changed {
-		c.epoch++
+		e := c.epoch.Add(1)
 		for _, id := range c.ids[:n] {
-			c.agents[id].epoch = c.epoch
+			s := c.stripeFor(id)
+			s.mu.Lock()
+			s.agents[id].epoch = e
+			s.mu.Unlock()
 		}
-		c.m.epoch.Set(float64(c.epoch))
+		c.m.epoch.Set(float64(e))
 	}
 	c.m.stagePushes.Inc()
 }
@@ -708,9 +869,15 @@ type DrainReport struct {
 // in-flight batch already acknowledged to an agent reaches the snapshot
 // (and is judged by the next round) instead of dying in a queue.
 func (c *Controller) Drain() DrainReport {
-	c.mu.Lock()
-	c.draining = true
-	c.mu.Unlock()
+	c.draining.Store(true)
+	// Stripe barrier: Report checks draining inside the stripe critical
+	// section, so once each stripe's mutex has been cycled here, every
+	// report that will ever be acknowledged has already enqueued — the
+	// tick loop below cannot race an entry into a just-emptied queue.
+	for i := range c.stripes {
+		c.stripes[i].mu.Lock()
+		c.stripes[i].mu.Unlock() //lint:ignore SA2001 empty section is the barrier
+	}
 	var rep DrainReport
 	for {
 		t := c.Tick()
@@ -774,25 +941,21 @@ type Status struct {
 func (c *Controller) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ingest, _ := c.syncIngestLocked()
 	st := Status{
-		Epoch:          c.epoch,
+		Epoch:          c.epoch.Load(),
 		Incumbent:      c.incumbent,
-		Draining:       c.draining,
+		Draining:       c.draining.Load(),
 		WindowStartSec: c.windowStart,
 		WindowEndSec:   c.windowMax,
 		WindowEntries:  c.windowEntries,
-		Ingest: IngestStats{
-			Reports:             c.nReports,
-			Received:            c.nReceived,
-			Ingested:            c.nIngested,
-			DroppedBackpressure: c.nDropped,
-			RejectedCorrupt:     c.nCorrupt,
-			RejectedInvalid:     c.nInvalid,
-		},
-		Rounds: len(c.rounds),
+		Ingest:         ingest,
+		Rounds:         len(c.rounds),
 	}
 	for _, id := range c.ids {
-		a := c.agents[id]
+		s := c.stripeFor(id)
+		s.mu.Lock()
+		a := s.agents[id]
 		st.Agents = append(st.Agents, AgentStatus{
 			ID:            a.id,
 			QueueDepth:    len(a.queue),
@@ -802,6 +965,7 @@ func (c *Controller) Status() Status {
 			Params:        a.params,
 			Epoch:         a.epoch,
 		})
+		s.mu.Unlock()
 	}
 	for i := range c.shards {
 		st.Shards = append(st.Shards, ShardStatus{
@@ -816,11 +980,21 @@ func (c *Controller) Status() Status {
 	return st
 }
 
-// RenderMetrics writes hub's Prometheus exposition while holding the
-// controller mutex, serializing the scrape against the controller's
-// metric writes (obs instruments are single-writer, not atomic).
+// RenderMetrics writes hub's Prometheus exposition to w. The striped
+// ingest counters are synced and the exposition is rendered into a
+// buffer under the control mutex (obs instruments are single-writer, not
+// atomic); the buffer is written to w with no locks held, so a slow
+// scraper blocks neither ingest — which never needed the control mutex —
+// nor ticks and rounds.
 func (c *Controller) RenderMetrics(hub *obs.Multi, w io.Writer) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return hub.WritePrometheus(w)
+	c.syncIngestLocked()
+	var buf bytes.Buffer
+	err := hub.WritePrometheus(&buf)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
 }

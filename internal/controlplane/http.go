@@ -7,10 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"net/url"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"sdfm/internal/controlplane/wire"
 	"sdfm/internal/obs"
 )
 
@@ -112,15 +116,47 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatusFor(err), err)
 		return
 	}
+	// Advertise the binary telemetry wire version this server's
+	// /v1/report accepts; clients built against older servers ignore the
+	// field and keep speaking JSON.
+	resp.Wire = wire.Version
 	writeJSON(w, resp)
 }
 
+// handleReport negotiates the report body encoding by Content-Type:
+// application/x-sdfm-telemetry bodies decode through the bounds-checked
+// binary codec, everything else falls back to JSON. Both paths produce
+// the same ReportRequest, so backpressure, validation, and round
+// decisions are encoding-blind.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req ReportRequest
-	if !decodeBody(w, r, &req) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == wire.ContentType {
+		// Content-Length sizes the read buffer up front; frames are tens of
+		// kilobytes, and io.ReadAll's doubling regrowth would copy each one
+		// several times over.
+		var buf bytes.Buffer
+		if n := r.ContentLength; n > 0 && n <= maxBodyBytes {
+			buf.Grow(int(n))
+		}
+		if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading report frame: %w", err))
+			return
+		}
+		agentID, entries, err := wire.DecodeReportBatch(buf.Bytes())
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, wire.ErrUnsupportedVersion) {
+				code = http.StatusUnsupportedMediaType
+			}
+			writeError(w, code, fmt.Errorf("decoding report frame: %w", err))
+			return
+		}
+		req = ReportRequest{AgentID: agentID, Entries: entries}
+	} else if !decodeBody(w, r, &req) {
 		return
 	}
 	resp, err := s.c.Report(req)
@@ -180,51 +216,118 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// Client speaks the Server's JSON protocol; it implements Transport, so
-// agent code written against Loopback works unchanged against a live
-// sdfmd.
+// Encoding selects how a Client serializes report bodies.
+type Encoding int
+
+const (
+	// EncodingAuto (the default) starts on JSON and upgrades to the
+	// binary wire format when registration advertises server support.
+	EncodingAuto Encoding = iota
+	// EncodingJSON forces per-entry JSON bodies.
+	EncodingJSON
+	// EncodingBinary forces application/x-sdfm-telemetry frames without
+	// waiting for the registration advertisement.
+	EncodingBinary
+)
+
+// sharedTransport is the process-wide transport every NewClient client
+// rides: agents report every telemetry interval to the same daemon, so
+// keep-alive connection reuse — not per-call dials — is the steady
+// state. Clients that need isolation can swap in their own *http.Client.
+var sharedTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// encodeBufPool recycles report encode buffers across calls and clients,
+// so the steady-state report path performs zero buffer allocations.
+var encodeBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// Client speaks the Server's protocol; it implements Transport, so agent
+// code written against Loopback works unchanged against a live sdfmd.
+// Report bodies use the binary telemetry wire format when the server
+// supports it (see Encoding); every other exchange is JSON.
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8300".
 	Base string
-	// HTTP is the underlying client (default: 30 s timeout).
+	// HTTP is the underlying client (default: shared keep-alive
+	// transport, 30 s timeout).
 	HTTP *http.Client
+	// Encoding selects the report body serialization (default
+	// EncodingAuto).
+	Encoding Encoding
+
+	// binaryOK records, under EncodingAuto, whether registration
+	// advertised binary wire support.
+	binaryOK atomic.Bool
 }
 
 // NewClient builds a client for the daemon at base.
 func NewClient(base string) *Client {
-	return &Client{Base: base, HTTP: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{Base: base, HTTP: &http.Client{
+		Transport: sharedTransport,
+		Timeout:   30 * time.Second,
+	}}
 }
 
-func (cl *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("controlplane: encoding %s request: %w", path, err)
-		}
-		rd = bytes.NewReader(b)
+// drainBody consumes whatever the decoder left unread so the keep-alive
+// connection returns to the idle pool instead of being torn down.
+func drainBody(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	body.Close()
+}
+
+// httpError is a non-200 response, keeping the status code inspectable
+// (the Report fallback branches on 415).
+type httpError struct {
+	path string
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("controlplane: %s: %s (HTTP %d)", e.path, e.msg, e.code)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, cl.Base+path, rd)
+	return fmt.Sprintf("controlplane: %s: HTTP %d", e.path, e.code)
+}
+
+// errorFrom turns a non-200 response into a descriptive error.
+func errorFrom(path string, resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	he := &httpError{path: path, code: resp.StatusCode}
+	if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+		he.msg = e.Error
+	}
+	return he
+}
+
+func (cl *Client) post(ctx context.Context, path, contentType string, body io.Reader, out any) error {
+	method := http.MethodPost
+	if body == nil && contentType == "" {
+		method = http.MethodGet
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.Base+path, body)
 	if err != nil {
 		return fmt.Errorf("controlplane: building %s request: %w", path, err)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := cl.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("controlplane: %s: %w", path, err)
 	}
-	defer resp.Body.Close()
+	defer drainBody(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
-			return fmt.Errorf("controlplane: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("controlplane: %s: HTTP %d", path, resp.StatusCode)
+		return errorFrom(path, resp)
 	}
 	if out == nil {
 		return nil
@@ -235,18 +338,76 @@ func (cl *Client) do(ctx context.Context, method, path string, body, out any) er
 	return nil
 }
 
-// Register implements Transport.
+func (cl *Client) do(ctx context.Context, method, path string, body, out any) error {
+	if body == nil {
+		if method == http.MethodPost {
+			return cl.post(ctx, path, "application/json", nil, out)
+		}
+		return cl.post(ctx, path, "", nil, out)
+	}
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	defer encodeBufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		return fmt.Errorf("controlplane: encoding %s request: %w", path, err)
+	}
+	return cl.post(ctx, path, "application/json", bytes.NewReader(buf.Bytes()), out)
+}
+
+// Register implements Transport. Under EncodingAuto it also completes
+// the wire negotiation: if the server advertises binary telemetry
+// support, subsequent Report calls switch to the binary frame format.
 func (cl *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
 	var resp RegisterResponse
 	err := cl.do(ctx, http.MethodPost, "/v1/register", req, &resp)
+	if err == nil {
+		cl.binaryOK.Store(resp.Wire >= wire.Version)
+	}
 	return resp, err
 }
 
-// Report implements Transport.
+// useBinary reports whether the next report body should be a binary
+// frame.
+func (cl *Client) useBinary() bool {
+	switch cl.Encoding {
+	case EncodingBinary:
+		return true
+	case EncodingJSON:
+		return false
+	default:
+		return cl.binaryOK.Load()
+	}
+}
+
+// Report implements Transport. Report bodies are binary wire frames when
+// negotiated (or forced), encoded into a pooled buffer so the
+// steady-state reporting path allocates no per-call encode buffers; a
+// server rejecting the frame encoding (HTTP 415) flips an EncodingAuto
+// client back to JSON for the retry and every later call.
 func (cl *Client) Report(ctx context.Context, req ReportRequest) (ReportResponse, error) {
 	var resp ReportResponse
-	err := cl.do(ctx, http.MethodPost, "/v1/report", req, &resp)
-	return resp, err
+	if !cl.useBinary() {
+		err := cl.do(ctx, http.MethodPost, "/v1/report", req, &resp)
+		return resp, err
+	}
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	defer encodeBufPool.Put(buf)
+	frame, err := wire.AppendReportBatch(buf.Bytes()[:0], req.AgentID, req.Entries)
+	if err != nil {
+		return resp, fmt.Errorf("controlplane: encoding report frame: %w", err)
+	}
+	// Hand the (possibly grown) backing array back to the pooled buffer
+	// so the next call reuses it.
+	*buf = *bytes.NewBuffer(frame)
+	herr := cl.post(ctx, "/v1/report", wire.ContentType, bytes.NewReader(frame), &resp)
+	var he *httpError
+	if errors.As(herr, &he) && he.code == http.StatusUnsupportedMediaType &&
+		cl.Encoding == EncodingAuto {
+		cl.binaryOK.Store(false)
+		err := cl.do(ctx, http.MethodPost, "/v1/report", req, &resp)
+		return resp, err
+	}
+	return resp, herr
 }
 
 // Poll implements Transport.

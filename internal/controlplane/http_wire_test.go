@@ -1,0 +1,132 @@
+package controlplane
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdfm/internal/controlplane/wire"
+)
+
+// contentTypeRecorder counts /v1/report bodies by encoding.
+type contentTypeRecorder struct {
+	next         http.Handler
+	binary, json atomic.Int64
+}
+
+func (rec *contentTypeRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/report" {
+		if r.Header.Get("Content-Type") == wire.ContentType {
+			rec.binary.Add(1)
+		} else {
+			rec.json.Add(1)
+		}
+	}
+	rec.next.ServeHTTP(w, r)
+}
+
+// TestHTTPBinaryNegotiation drives the full upgrade path: Register
+// advertises the wire version, the client switches its report bodies to
+// binary frames, and the decoded entries land in the controller exactly
+// as JSON ones would.
+func TestHTTPBinaryNegotiation(t *testing.T) {
+	ctx := context.Background()
+	c := newTestController(t, Config{})
+	rec := &contentTypeRecorder{next: NewServer(c, nil).Handler()}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+
+	cl := NewClient(srv.URL)
+	reg, err := cl.Register(ctx, RegisterRequest{AgentID: "a"})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if reg.Wire != wire.Version {
+		t.Fatalf("Register advertised wire version %d, want %d", reg.Wire, wire.Version)
+	}
+
+	tr := testTrace(t, 1, 1, 2, time.Hour, 8)
+	resp, err := cl.Report(ctx, ReportRequest{AgentID: "a", Entries: tr.Entries})
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if resp.Accepted != len(tr.Entries) || resp.Dropped != 0 {
+		t.Errorf("binary report accepted %d dropped %d, want %d/0",
+			resp.Accepted, resp.Dropped, len(tr.Entries))
+	}
+	if rec.binary.Load() != 1 || rec.json.Load() != 0 {
+		t.Errorf("report encodings binary=%d json=%d, want 1/0",
+			rec.binary.Load(), rec.json.Load())
+	}
+	if rep := c.Tick(); rep.Drained != len(tr.Entries) || rep.RejectedCorrupt != 0 {
+		t.Errorf("tick after binary report: drained %d rejected %d, want %d/0",
+			rep.Drained, rep.RejectedCorrupt, len(tr.Entries))
+	}
+
+	// A client pinned to JSON ignores the advertisement.
+	jl := NewClient(srv.URL)
+	jl.Encoding = EncodingJSON
+	if _, err := jl.Register(ctx, RegisterRequest{AgentID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jl.Report(ctx, ReportRequest{AgentID: "a", Entries: tr.Entries[:1]}); err != nil {
+		t.Fatalf("JSON report: %v", err)
+	}
+	if rec.json.Load() != 1 {
+		t.Errorf("pinned-JSON client sent %d JSON reports, want 1", rec.json.Load())
+	}
+}
+
+// TestHTTPBinaryFallbackOn415 pins the downgrade path: a server that
+// advertises binary support but then rejects the frame (version skew,
+// proxy stripping) gets an automatic JSON retry, and the client stays on
+// JSON afterwards.
+func TestHTTPBinaryFallbackOn415(t *testing.T) {
+	ctx := context.Background()
+	var binaryTries, jsonTries atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, RegisterResponse{Wire: wire.Version})
+	})
+	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Content-Type") == wire.ContentType {
+			binaryTries.Add(1)
+			writeError(w, http.StatusUnsupportedMediaType, wire.ErrUnsupportedVersion)
+			return
+		}
+		jsonTries.Add(1)
+		var req ReportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, ReportResponse{Accepted: len(req.Entries)})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cl := NewClient(srv.URL)
+	if _, err := cl.Register(ctx, RegisterRequest{AgentID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t, 1, 1, 1, time.Hour, 9)
+	for i := 0; i < 2; i++ {
+		resp, err := cl.Report(ctx, ReportRequest{AgentID: "a", Entries: tr.Entries[:3]})
+		if err != nil {
+			t.Fatalf("Report %d: %v", i, err)
+		}
+		if resp.Accepted != 3 {
+			t.Errorf("Report %d accepted %d, want 3", i, resp.Accepted)
+		}
+	}
+	if binaryTries.Load() != 1 {
+		t.Errorf("client tried binary %d times, want exactly 1 before downgrading", binaryTries.Load())
+	}
+	if jsonTries.Load() != 2 {
+		t.Errorf("server saw %d JSON reports, want 2 (fallback retry + next call)", jsonTries.Load())
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sdfm/internal/audit"
 	"sdfm/internal/cluster"
 	"sdfm/internal/controlplane"
+	"sdfm/internal/controlplane/wire"
 	"sdfm/internal/core"
 	"sdfm/internal/fault"
 	"sdfm/internal/fleet"
@@ -452,8 +453,15 @@ type (
 	ControlPlaneTransport = controlplane.Transport
 	// ControlPlaneAgent is the node-side client of the control plane.
 	ControlPlaneAgent = controlplane.Agent
-	// ControlPlaneClient speaks the daemon's JSON protocol over HTTP.
+	// ControlPlaneClient speaks the daemon's protocol over HTTP. It
+	// negotiates the binary telemetry wire format at registration and
+	// falls back to JSON against servers that do not speak it; pin the
+	// body encoding with its Encoding field.
 	ControlPlaneClient = controlplane.Client
+	// ControlPlaneEncoding selects a ControlPlaneClient's report body
+	// encoding: EncodingAuto (negotiate, the default), EncodingJSON, or
+	// EncodingBinary.
+	ControlPlaneEncoding = controlplane.Encoding
 	// ControlPlaneServer exposes a controller over HTTP (cmd/sdfmd).
 	ControlPlaneServer = controlplane.Server
 	// ControlPlaneSimConfig configures a deterministic loopback fleet run.
@@ -461,6 +469,17 @@ type (
 	// ControlPlaneSimReport summarizes a loopback fleet run.
 	ControlPlaneSimReport = controlplane.SimReport
 )
+
+// ControlPlaneClient report body encodings.
+const (
+	EncodingAuto   = controlplane.EncodingAuto
+	EncodingJSON   = controlplane.EncodingJSON
+	EncodingBinary = controlplane.EncodingBinary
+)
+
+// ControlPlaneWireContentType is the Content-Type of the binary
+// telemetry report frame (internal/controlplane/wire).
+const ControlPlaneWireContentType = wire.ContentType
 
 // NewControlPlane builds a fleet controller.
 func NewControlPlane(cfg ControlPlaneConfig) (*ControlPlane, error) { return controlplane.New(cfg) }
