@@ -769,7 +769,7 @@ func benchReportBatch(b *testing.B) []telemetry.Entry {
 // iteration is identical across variants and b.N scaling never changes
 // queue depth or window size. QueueCap holds a whole agent's campaign,
 // so nothing drops and every variant ingests the same entries.
-func benchmarkIngest(b *testing.B, stripes int, enc controlplane.Encoding) {
+func benchmarkIngest(b *testing.B, stripes int, enc controlplane.Encoding, ckptDir string) {
 	entries := benchReportBatch(b)
 	const agents, reportsPerAgent = 8, 10
 	total := int64(agents * reportsPerAgent * len(entries))
@@ -782,6 +782,12 @@ func benchmarkIngest(b *testing.B, stripes int, enc controlplane.Encoding) {
 			QueueCap:   1 << 14,               // ≥ reportsPerAgent×len(entries): zero drops
 			BatchSize:  1 << 14,
 			Stripes:    stripes,
+			// When ckptDir is set, the campaign's 12h telemetry span
+			// crosses the cadence once: each iteration writes (at least)
+			// one full snapshot on the drain path, so the variant prices
+			// checkpointing into the same fixed campaign.
+			CheckpointDir:   ckptDir,
+			CheckpointEvery: 6 * time.Hour,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -837,13 +843,16 @@ func benchmarkIngest(b *testing.B, stripes int, enc controlplane.Encoding) {
 // wire frames). DESIGN.md records the before/after numbers.
 func BenchmarkControlPlaneIngest(b *testing.B) {
 	b.Run("json-1stripe", func(b *testing.B) {
-		benchmarkIngest(b, 1, controlplane.EncodingJSON)
+		benchmarkIngest(b, 1, controlplane.EncodingJSON, "")
 	})
 	b.Run("json-striped", func(b *testing.B) {
-		benchmarkIngest(b, 16, controlplane.EncodingJSON)
+		benchmarkIngest(b, 16, controlplane.EncodingJSON, "")
 	})
 	b.Run("binary-striped", func(b *testing.B) {
-		benchmarkIngest(b, 16, controlplane.EncodingBinary)
+		benchmarkIngest(b, 16, controlplane.EncodingBinary, "")
+	})
+	b.Run("binary-striped-ckpt", func(b *testing.B) {
+		benchmarkIngest(b, 16, controlplane.EncodingBinary, b.TempDir())
 	})
 }
 

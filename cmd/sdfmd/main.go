@@ -48,6 +48,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "GP-bandit seed (reused every round)")
 		iterations = flag.Int("iterations", 15, "GP-bandit iterations per round")
 		stagesFlag = flag.String("stages", "", `deployment rings as "name=frac,..." (empty: canary/early/half/fleet)`)
+		ckptDir    = flag.String("ckptdir", "", "checkpoint directory; empty disables durable state")
+		ckptEvery  = flag.Duration("ckpt-every", 0, "telemetry-time span between checkpoints (0: -round-every)")
+		ckptKeep   = flag.Int("ckpt-keep", 4, "checkpoint generations retained on disk")
 
 		loadgen        = flag.Bool("loadgen", false, "run as an ingest load generator against -target instead of serving")
 		target         = flag.String("target", "", "loadgen: daemon base URL (default http://<-addr>)")
@@ -91,15 +94,18 @@ func main() {
 
 	hub := obs.NewMulti(obs.Label{Key: "run", Value: "sdfmd"})
 	observer := hub.Observer("controlplane")
-	ctrl, err := controlplane.New(controlplane.Config{
-		RoundEvery: *roundEvery,
-		QueueCap:   *queueCap,
-		BatchSize:  *batch,
-		Shards:     *shards,
-		Stripes:    *stripes,
-		Stages:     stages,
-		Tuner:      tuner.Config{Seed: *seed, Iterations: *iterations},
-		Obs:        observer,
+	ctrl, restore, err := controlplane.Restore(controlplane.Config{
+		RoundEvery:      *roundEvery,
+		QueueCap:        *queueCap,
+		BatchSize:       *batch,
+		Shards:          *shards,
+		Stripes:         *stripes,
+		Stages:          stages,
+		Tuner:           tuner.Config{Seed: *seed, Iterations: *iterations},
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		CheckpointKeep:  *ckptKeep,
+		Obs:             observer,
 		OnRound: func(rr controlplane.RoundReport) {
 			log.Printf("round %d: window [%ds, %ds] entries=%d jobs=%d gaps=%d candidate=(K=%.1f,S=%s) -> %s",
 				rr.Round, rr.WindowStartSec, rr.WindowEndSec, rr.Entries, rr.Jobs, rr.GapIntervals,
@@ -109,8 +115,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *ckptDir != "" {
+		for _, sk := range restore.Skipped {
+			log.Printf("checkpoint: skipped %s: %v", sk.Name, sk.Err)
+		}
+		if restore.Restored {
+			log.Printf("restored: generation=%d file=%s agents=%d rounds=%d queued=%d ingested=%d",
+				restore.Generation, restore.File, restore.Agents, restore.Rounds,
+				restore.QueuedEntries, restore.Ingested)
+		} else {
+			log.Printf("no checkpoint in %s; fresh boot", *ckptDir)
+		}
+	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := listenRetry(*addr, bindAttempts, bindBackoff)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -155,9 +173,61 @@ func main() {
 	st := ctrl.Status()
 	log.Printf("drained %d queued entries in %d ticks (%d corrupt, %d invalid rejected)",
 		rep.Drained, rep.Ticks, rep.RejectedCorrupt, rep.RejectedInvalid)
+	if *ckptDir != "" {
+		// Final snapshot: every entry the daemon ever acked is either in
+		// the fleet snapshot (Drain just flushed the queues) or in a
+		// completed round — the checkpoint a successor restores loses
+		// nothing.
+		if path, err := ctrl.Checkpoint(); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
+		} else {
+			log.Printf("final checkpoint: %s", path)
+		}
+	}
 	log.Printf("final: agents=%d rounds=%d ingested=%d dropped=%d incumbent=(K=%.1f,S=%s)",
 		len(st.Agents), st.Rounds, st.Ingest.Ingested, st.Ingest.DroppedBackpressure,
 		st.Incumbent.K, st.Incumbent.S)
+}
+
+// Transient bind errors (a predecessor's socket still in TIME_WAIT, a
+// slow-exiting old instance) get a bounded retry instead of an
+// immediate fatal — a restarting supervisor would otherwise flap.
+const (
+	bindAttempts = 5
+	bindBackoff  = 100 * time.Millisecond
+)
+
+// listenRetry binds addr, retrying transient failures with doubling
+// backoff: attempts tries spaced backoff, 2×backoff, 4×backoff, …
+// Non-transient errors (bad address, permission denied) fail
+// immediately.
+func listenRetry(addr string, attempts int, backoff time.Duration) (net.Listener, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			log.Printf("bind %s: %v; retrying in %s", addr, lastErr, backoff)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		if !isTransientBindError(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("sdfmd: bind %s: giving up after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// isTransientBindError reports whether a Listen failure is worth
+// retrying: address in use (or the platform's transient unavailability
+// errnos), not structural failures like an unparseable address.
+func isTransientBindError(err error) bool {
+	return errors.Is(err, syscall.EADDRINUSE) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.ECONNREFUSED)
 }
 
 // parseStages parses "canary=0.01,early=0.1,fleet=1" into rollout rings;

@@ -1,0 +1,428 @@
+package controlplane
+
+// Checkpointing: the controller's durable-state layer. Snapshots are
+// extracted with the same discipline tuning rounds use — everything
+// decision-shaped is read under the control mutex (stripe mutexes taken
+// briefly per agent), then encoding and file I/O run with no locks held,
+// so a checkpoint never stalls ingest. Cadence is telemetry time, never
+// the wall clock: a snapshot is cut when the ingested telemetry clock
+// has advanced CheckpointEvery past the previous snapshot's clock,
+// mirroring how rounds trigger on window span. Checkpoints are never
+// taken while a round is in flight — mid-round the window has been cut
+// out of the shards and would be silently absent from the snapshot.
+//
+// Restoring is Restore(cfg): boot a fresh controller, adopt the newest
+// checkpoint that decodes (older generations win over torn newer files,
+// with accounting), and let agents re-register idempotently — Register
+// finds their restored state, so epochs and params resume instead of
+// resetting.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sdfm/internal/controlplane/ckpt"
+	"sdfm/internal/telemetry"
+)
+
+// ErrNoCheckpointDir rejects checkpoint operations on a controller
+// configured without a CheckpointDir.
+var ErrNoCheckpointDir = errors.New("controlplane: no checkpoint directory configured")
+
+// RestoreReport summarizes a Restore: what was recovered and what was
+// skipped on the way to it.
+type RestoreReport struct {
+	// Restored is false when the directory held no usable checkpoint and
+	// the controller booted fresh.
+	Restored bool `json:"restored"`
+	// File and Generation identify the checkpoint that booted the
+	// controller.
+	File       string `json:"file,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
+	// Skipped lists newer files that were passed over (torn writes, bad
+	// CRCs, stray temporaries), newest first.
+	Skipped []ckpt.SkippedFile `json:"-"`
+	// Agents, Rounds, QueuedEntries, and Ingested describe the recovered
+	// state: registered agents, completed tuning rounds, telemetry
+	// entries still queued (acked but undrained at snapshot time), and
+	// the lifetime ingested-entry total.
+	Agents        int    `json:"agents"`
+	Rounds        int    `json:"rounds"`
+	QueuedEntries int    `json:"queued_entries"`
+	Ingested      uint64 `json:"ingested"`
+}
+
+// Restore boots a controller from the newest valid checkpoint in
+// cfg.CheckpointDir. Corrupt or torn files are skipped with accounting,
+// falling back to older generations; an empty or missing directory (or
+// an unset CheckpointDir) is a fresh boot, not an error. The restored
+// controller continues its campaign deterministically: given the same
+// shard count and the same replayed telemetry, its round decisions and
+// final incumbent are byte-identical to a controller that never went
+// down.
+func Restore(cfg Config) (*Controller, RestoreReport, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, RestoreReport{}, err
+	}
+	if c.cfg.CheckpointDir == "" {
+		return c, RestoreReport{}, nil
+	}
+	s, frep, err := ckpt.Restore(c.cfg.CheckpointDir)
+	if err != nil {
+		return nil, RestoreReport{}, err
+	}
+	rep := RestoreReport{
+		Restored:   frep.Restored,
+		File:       frep.File,
+		Generation: frep.Generation,
+		Skipped:    frep.Skipped,
+	}
+	c.m.ckptSkipped.AddInt(len(frep.Skipped))
+	if s == nil {
+		return c, rep, nil
+	}
+	if err := c.adoptSnapshot(s); err != nil {
+		return nil, RestoreReport{}, err
+	}
+	rep.Agents = len(s.Agents)
+	rep.Rounds = len(s.Rounds)
+	rep.QueuedEntries = s.QueuedEntries()
+	rep.Ingested = s.Counters.Ingested
+	return c, rep, nil
+}
+
+// adoptSnapshot loads a decoded checkpoint into a freshly built
+// controller. Called before the controller is shared, so no locking.
+func (c *Controller) adoptSnapshot(s *ckpt.Snapshot) error {
+	c.incumbent = s.Incumbent
+	c.epoch.Store(s.Epoch)
+	c.windowStart = s.WindowStartSec
+	c.windowMax = s.WindowMaxSec
+	c.windowEntries = int(s.WindowEntries)
+	c.telemetryMax = s.TelemetrySec
+	c.ckptBase = s.TelemetrySec
+	c.ckptGen = s.Generation
+
+	// Agent registry. Snapshot order is sorted, but the file is external
+	// input: re-sort and reject duplicates rather than trusting it.
+	for i := range s.Agents {
+		a := &s.Agents[i]
+		if a.ID == "" {
+			return fmt.Errorf("%w: empty agent id", ckpt.ErrCorrupt)
+		}
+		st := c.stripeFor(a.ID)
+		if _, dup := st.agents[a.ID]; dup {
+			return fmt.Errorf("%w: duplicate agent %q", ckpt.ErrCorrupt, a.ID)
+		}
+		st.agents[a.ID] = &agentState{
+			id:      a.ID,
+			queue:   append([]telemetry.Entry(nil), a.Queue...),
+			dropped: a.Dropped,
+			reports: a.Reports,
+			lastTS:  a.LastTS,
+			params:  a.Params,
+			epoch:   a.Epoch,
+		}
+		st.queued += len(a.Queue)
+		c.ids = append(c.ids, a.ID)
+	}
+	sort.Strings(c.ids)
+
+	// Lifetime counters. The stripe-side totals land on stripe 0 — stripe
+	// placement is invisible because every reader sums across stripes.
+	c.stripes[0].nReports = s.Counters.Reports
+	c.stripes[0].nReceived = s.Counters.Received
+	c.stripes[0].nDropped = s.Counters.DroppedBackpressure
+	c.nIngested = s.Counters.Ingested
+	c.nCorrupt = s.Counters.RejectedCorrupt
+	c.nInvalid = s.Counters.RejectedInvalid
+
+	// Fleet snapshot. With an unchanged shard count the shards are
+	// restored verbatim — window entry order, and therefore round
+	// decisions, are byte-identical. If the configured count changed,
+	// jobs and entries are re-placed by hash (deterministic, but entry
+	// interleaving differs, so the equivalence guarantee is
+	// same-shard-count only; see DESIGN.md).
+	if len(s.Shards) == len(c.shards) {
+		for i := range s.Shards {
+			sh := &c.shards[i]
+			sh.entries = append([]telemetry.Entry(nil), s.Shards[i].Entries...)
+			for j := range s.Shards[i].Jobs {
+				js := &s.Shards[i].Jobs[j]
+				sh.jobs[js.Key] = &jobSnap{
+					LastTimestampSec: js.LastTimestampSec,
+					Intervals:        int(js.Intervals),
+					LastWSSPages:     js.LastWSSPages,
+					LastTotalPages:   js.LastTotalPages,
+				}
+			}
+		}
+	} else {
+		for i := range s.Shards {
+			for j := range s.Shards[i].Jobs {
+				js := &s.Shards[i].Jobs[j]
+				c.shards[shardFor(js.Key, len(c.shards))].jobs[js.Key] = &jobSnap{
+					LastTimestampSec: js.LastTimestampSec,
+					Intervals:        int(js.Intervals),
+					LastWSSPages:     js.LastWSSPages,
+					LastTotalPages:   js.LastTotalPages,
+				}
+			}
+			for _, e := range s.Shards[i].Entries {
+				sh := &c.shards[shardFor(e.Key, len(c.shards))]
+				sh.entries = append(sh.entries, e)
+			}
+		}
+	}
+
+	// Round history, so round numbering and /statusz continue seamlessly.
+	for i := range s.Rounds {
+		c.rounds = append(c.rounds, roundFromCkpt(&s.Rounds[i]))
+	}
+
+	c.m.agents.SetInt(len(c.ids))
+	c.m.epoch.Set(float64(s.Epoch))
+	c.m.deployedK.Set(c.incumbent.K)
+	c.m.deployedS.Set(c.incumbent.S.Seconds())
+	c.m.ckptGen.Set(float64(s.Generation))
+	return nil
+}
+
+// Checkpoint forces a snapshot to CheckpointDir regardless of cadence —
+// the graceful-drain hook and admin override. It refuses while a tuning
+// round is in flight (the round owns the window; a snapshot taken now
+// would silently drop it), waits for any in-flight background write, and
+// returns the written file's path — when it returns, every generation up
+// to and including this one is durable.
+func (c *Controller) Checkpoint() (string, error) {
+	c.ckptSchedMu.Lock()
+	defer c.ckptSchedMu.Unlock()
+	c.ckptWG.Wait() // join any in-flight background write first
+
+	c.mu.Lock()
+	if c.cfg.CheckpointDir == "" {
+		c.mu.Unlock()
+		return "", ErrNoCheckpointDir
+	}
+	if c.roundInFlight {
+		c.mu.Unlock()
+		return "", ErrRoundInFlight
+	}
+	c.ckptGen++
+	s := c.snapshotLocked()
+	c.ckptBase = s.TelemetrySec
+	c.mu.Unlock()
+	return c.persistSnapshot(s)
+}
+
+// maybeCheckpoint cuts a snapshot when the telemetry clock has advanced
+// CheckpointEvery past the last one. Called from Tick with no locks
+// held. Only the snapshot extraction is synchronous — encoding, the
+// temp-file write, fsync, and prune run on a background goroutine so the
+// tick path never stalls on disk (the <2% ingest-overhead budget). A
+// crossing first joins the previous write — normally long since finished
+// because the cadence is hours of telemetry — so at most one writer runs
+// and generations land on disk in order.
+func (c *Controller) maybeCheckpoint() bool {
+	c.mu.Lock()
+	due := !c.roundInFlight && c.ckptBase >= 0 &&
+		c.telemetryMax-c.ckptBase >= c.ckptEverySec
+	c.mu.Unlock()
+	if !due {
+		return false
+	}
+	c.ckptSchedMu.Lock()
+	defer c.ckptSchedMu.Unlock()
+	c.ckptWG.Wait()
+
+	// Re-check under the control mutex: a concurrent Checkpoint call may
+	// have advanced ckptBase while we waited.
+	c.mu.Lock()
+	if c.roundInFlight || c.ckptBase < 0 ||
+		c.telemetryMax-c.ckptBase < c.ckptEverySec {
+		c.mu.Unlock()
+		return false
+	}
+	c.ckptGen++
+	s := c.snapshotLocked()
+	c.ckptBase = s.TelemetrySec
+	c.ckptWG.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.ckptWG.Done()
+		c.persistSnapshot(s) // failure is accounted in ckptErrors
+	}()
+	return true
+}
+
+// persistSnapshot encodes and writes an already-extracted snapshot with
+// no controller locks held. The single-writer discipline enforced by
+// ckptSchedMu/ckptWG means prune never races a write, and generation
+// numbers assigned under the control mutex keep file names monotonic.
+func (c *Controller) persistSnapshot(s *ckpt.Snapshot) (string, error) {
+	path, err := ckpt.WriteFile(c.cfg.CheckpointDir, s)
+	var pruneErr error
+	if err == nil {
+		_, pruneErr = ckpt.Prune(c.cfg.CheckpointDir, c.cfg.CheckpointKeep)
+	}
+
+	c.mu.Lock()
+	if err != nil {
+		c.m.ckptErrors.Inc()
+	} else {
+		c.m.ckptWrites.Inc()
+		c.m.ckptGen.Set(float64(s.Generation))
+		if pruneErr != nil {
+			// The snapshot itself landed; a failed prune only leaks old files.
+			c.m.ckptErrors.Inc()
+		}
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// snapshotLocked extracts a checkpoint snapshot. Caller holds the
+// control mutex; stripe mutexes are taken briefly per agent, matching
+// every other whole-registry read (Status, assignFraction). Everything
+// referenced by the snapshot is copied, so encoding can run lock-free.
+func (c *Controller) snapshotLocked() *ckpt.Snapshot {
+	s := &ckpt.Snapshot{
+		Generation:     c.ckptGen,
+		TelemetrySec:   c.telemetryMax,
+		Incumbent:      c.incumbent,
+		Epoch:          c.epoch.Load(),
+		WindowStartSec: c.windowStart,
+		WindowMaxSec:   c.windowMax,
+		WindowEntries:  int64(c.windowEntries),
+	}
+	for _, id := range c.ids {
+		st := c.stripeFor(id)
+		st.mu.Lock()
+		a := st.agents[id]
+		as := ckpt.AgentSnap{
+			ID:      a.id,
+			Params:  a.params,
+			Epoch:   a.epoch,
+			LastTS:  a.lastTS,
+			Reports: a.reports,
+			Dropped: a.dropped,
+		}
+		if len(a.queue) > 0 {
+			as.Queue = append([]telemetry.Entry(nil), a.queue...)
+		}
+		st.mu.Unlock()
+		s.Agents = append(s.Agents, as)
+	}
+	s.Shards = make([]ckpt.ShardSnap, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		out := &s.Shards[i]
+		if len(sh.entries) > 0 {
+			// Zero-copy: shard entries are append-only until a round cuts
+			// the window (which swaps in a fresh slice, leaving this
+			// backing array untouched), so the background encoder can
+			// safely read this view while ingest keeps appending past it.
+			// The capped three-index slice makes the view immutable.
+			out.Entries = sh.entries[:len(sh.entries):len(sh.entries)]
+		}
+		if len(sh.jobs) > 0 {
+			out.Jobs = make([]ckpt.JobSnap, 0, len(sh.jobs))
+			for k, js := range sh.jobs {
+				out.Jobs = append(out.Jobs, ckpt.JobSnap{
+					Key:              k,
+					LastTimestampSec: js.LastTimestampSec,
+					Intervals:        int64(js.Intervals),
+					LastWSSPages:     js.LastWSSPages,
+					LastTotalPages:   js.LastTotalPages,
+				})
+			}
+			// Deterministic bytes: the jobs map iterates in random order.
+			sort.Slice(out.Jobs, func(a, b int) bool {
+				ja, jb := out.Jobs[a].Key, out.Jobs[b].Key
+				if ja.Cluster != jb.Cluster {
+					return ja.Cluster < jb.Cluster
+				}
+				if ja.Machine != jb.Machine {
+					return ja.Machine < jb.Machine
+				}
+				return ja.Job < jb.Job
+			})
+		}
+	}
+	for i := range c.rounds {
+		s.Rounds = append(s.Rounds, roundToCkpt(&c.rounds[i]))
+	}
+	t, _ := c.ingestTotalsLocked()
+	s.Counters = ckpt.Counters{
+		Reports:             t.Reports,
+		Received:            t.Received,
+		Ingested:            t.Ingested,
+		DroppedBackpressure: t.DroppedBackpressure,
+		RejectedCorrupt:     t.RejectedCorrupt,
+		RejectedInvalid:     t.RejectedInvalid,
+	}
+	return s
+}
+
+func roundToCkpt(r *RoundReport) ckpt.Round {
+	return ckpt.Round{
+		Round:          int64(r.Round),
+		WindowStartSec: r.WindowStartSec,
+		WindowEndSec:   r.WindowEndSec,
+		Entries:        int64(r.Entries),
+		Jobs:           int64(r.Jobs),
+		TunerEvals:     int64(r.TunerEvals),
+		Candidate:      r.Candidate,
+		Chosen:         r.Chosen,
+		Accepted:       r.Accepted,
+		RolledBackAt:   r.RolledBackAt,
+		Reason:         r.Reason,
+		Coverage:       r.Coverage,
+		P98Rate:        r.P98Rate,
+		GapIntervals:   int64(r.GapIntervals),
+		Completeness:   r.Completeness,
+		Err:            r.Err,
+	}
+}
+
+func roundFromCkpt(r *ckpt.Round) RoundReport {
+	return RoundReport{
+		Round:          int(r.Round),
+		WindowStartSec: r.WindowStartSec,
+		WindowEndSec:   r.WindowEndSec,
+		Entries:        int(r.Entries),
+		Jobs:           int(r.Jobs),
+		TunerEvals:     int(r.TunerEvals),
+		Candidate:      r.Candidate,
+		Chosen:         r.Chosen,
+		Accepted:       r.Accepted,
+		RolledBackAt:   r.RolledBackAt,
+		Reason:         r.Reason,
+		Coverage:       r.Coverage,
+		P98Rate:        r.P98Rate,
+		GapIntervals:   int(r.GapIntervals),
+		Completeness:   r.Completeness,
+		Err:            r.Err,
+	}
+}
+
+// ensureCheckpointDir creates the checkpoint directory at boot so the
+// first snapshot cannot fail on a missing path.
+func ensureCheckpointDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+// checkpointEverySeconds resolves the cadence in telemetry seconds.
+func checkpointEverySeconds(d time.Duration) int64 {
+	return int64(d / time.Second)
+}

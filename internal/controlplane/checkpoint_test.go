@@ -1,0 +1,460 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"sdfm/internal/controlplane/ckpt"
+	"sdfm/internal/core"
+	"sdfm/internal/model"
+	"sdfm/internal/telemetry"
+	"sdfm/internal/tuner"
+)
+
+// ckptTestConfig is the shared campaign configuration for the
+// kill-restore tests: small enough to run several rounds quickly,
+// realistic enough (multiple agents, staged rings) to exercise every
+// restored field.
+func ckptTestConfig(dir string) Config {
+	tcfg := fastTuner
+	tcfg.SLO = core.DefaultSLO
+	return Config{
+		SLO:       core.DefaultSLO,
+		Incumbent: core.DefaultParams,
+		Tuner:     tcfg,
+		Stages: []tuner.RolloutStage{
+			{Name: "canary", Fraction: 0.25},
+			{Name: "fleet", Fraction: 1.0},
+		},
+		Model:           model.Config{SLO: core.DefaultSLO},
+		RoundEvery:      3 * time.Hour,
+		CheckpointDir:   dir,
+		CheckpointEvery: time.Hour,
+	}
+}
+
+// replayCells groups a trace the way RunSim does: interval timestamps in
+// ascending order, one agent per (cluster, machine), trace order
+// preserved within each (timestamp, agent) cell.
+type replayCells struct {
+	tsList   []int64
+	agentIDs []string
+	groups   map[string]map[int64][]telemetry.Entry
+}
+
+func groupTrace(tr *telemetry.Trace) replayCells {
+	rc := replayCells{groups: make(map[string]map[int64][]telemetry.Entry)}
+	tsSeen := make(map[int64]bool)
+	for _, e := range tr.Entries {
+		id := e.Key.Cluster + "/" + e.Key.Machine
+		if !tsSeen[e.TimestampSec] {
+			tsSeen[e.TimestampSec] = true
+			rc.tsList = append(rc.tsList, e.TimestampSec)
+		}
+		byTS, ok := rc.groups[id]
+		if !ok {
+			byTS = make(map[int64][]telemetry.Entry)
+			rc.groups[id] = byTS
+			rc.agentIDs = append(rc.agentIDs, id)
+		}
+		byTS[e.TimestampSec] = append(byTS[e.TimestampSec], e)
+	}
+	sort.Slice(rc.tsList, func(i, j int) bool { return rc.tsList[i] < rc.tsList[j] })
+	sort.Strings(rc.agentIDs)
+	return rc
+}
+
+// registerAgents registers (or re-registers) every agent over loopback.
+func registerAgents(t *testing.T, c *Controller, rc replayCells) map[string]*Agent {
+	t.Helper()
+	lb := NewLoopback(c)
+	agents := make(map[string]*Agent, len(rc.agentIDs))
+	for _, id := range rc.agentIDs {
+		a := NewAgent(id, lb)
+		if err := a.Register(context.Background()); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+		agents[id] = a
+	}
+	return agents
+}
+
+// sendInterval delivers one interval's reports (no Tick).
+func sendInterval(t *testing.T, agents map[string]*Agent, rc replayCells, ts int64) {
+	t.Helper()
+	for _, id := range rc.agentIDs {
+		batch := rc.groups[id][ts]
+		if len(batch) == 0 {
+			continue
+		}
+		if _, err := agents[id].Report(context.Background(), batch); err != nil {
+			t.Fatalf("agent %s report at t=%ds: %v", id, ts, err)
+		}
+	}
+}
+
+// replayIntervals replays intervals [from, to): reports then one Tick
+// per interval, the discrete-time equivalent of the daemon's ticker.
+func replayIntervals(t *testing.T, c *Controller, agents map[string]*Agent, rc replayCells, from, to int) {
+	t.Helper()
+	for _, ts := range rc.tsList[from:to] {
+		sendInterval(t, agents, rc, ts)
+		c.Tick()
+	}
+}
+
+func roundsEqual(t *testing.T, got, want []RoundReport, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rounds, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		g.Stages, w.Stages = nil, nil // transient, excluded from checkpoints
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: round %d diverged:\n got %+v\nwant %+v", label, i+1, g, w)
+		}
+	}
+}
+
+// TestKillRestoreEquivalence is the tentpole's correctness bar: a
+// controller checkpointed mid-campaign — mid-window, with entries still
+// sitting acked-but-undrained in agent queues — then restored into a
+// fresh process must finish the campaign with byte-identical round
+// decisions and final incumbent vs. one that never went down.
+func TestKillRestoreEquivalence(t *testing.T) {
+	tr := testTrace(t, 1, 3, 3, 12*time.Hour, 7)
+	rc := groupTrace(tr)
+	if len(rc.tsList) < 20 {
+		t.Fatalf("trace has only %d intervals", len(rc.tsList))
+	}
+
+	// Baseline: one controller, never interrupted, no checkpointing.
+	cfg := ckptTestConfig("")
+	base, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	baseAgents := registerAgents(t, base, rc)
+	cut := len(rc.tsList) * 5 / 8
+	replayIntervals(t, base, baseAgents, rc, 0, cut)
+	sendInterval(t, baseAgents, rc, rc.tsList[cut])
+	base.Tick()
+	replayIntervals(t, base, baseAgents, rc, cut+1, len(rc.tsList))
+	if len(base.Rounds()) < 2 {
+		t.Fatalf("baseline ran %d rounds; need >= 2 to exercise incumbent chaining", len(base.Rounds()))
+	}
+
+	// Interrupted: same campaign, but the controller dies right after
+	// acking interval `cut`'s reports — before the Tick that would drain
+	// them — with a final checkpoint (the graceful-drain path; the
+	// SIGKILL path, which recovers from a *periodic* checkpoint, is
+	// exercised against the real binary in cmd/sdfmd's restart tests).
+	dir := t.TempDir()
+	cfg = ckptTestConfig(dir)
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	agents1 := registerAgents(t, c1, rc)
+	replayIntervals(t, c1, agents1, rc, 0, cut)
+	sendInterval(t, agents1, rc, rc.tsList[cut])
+	if _, err := c1.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// c1 is dead. Boot its successor from disk.
+	c2, rep, err := Restore(cfg)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !rep.Restored {
+		t.Fatal("Restore found no checkpoint")
+	}
+	if rep.QueuedEntries == 0 {
+		t.Fatal("checkpoint captured no queued entries; the cut was supposed to land mid-interval")
+	}
+	agents2 := registerAgents(t, c2, rc) // re-registration is idempotent reconciliation
+	c2.Tick()                            // the Tick c1 never got to run
+	replayIntervals(t, c2, agents2, rc, cut+1, len(rc.tsList))
+
+	roundsEqual(t, c2.Rounds(), base.Rounds(), "restored controller")
+	if got, want := c2.Incumbent(), base.Incumbent(); got != want {
+		t.Errorf("final incumbent %+v, want %+v", got, want)
+	}
+	st, stBase := c2.Status(), base.Status()
+	if st.Ingest != stBase.Ingest {
+		t.Errorf("lifetime ingest counters diverged: %+v vs %+v", st.Ingest, stBase.Ingest)
+	}
+	if st.Epoch != stBase.Epoch {
+		t.Errorf("epoch %d, want %d", st.Epoch, stBase.Epoch)
+	}
+}
+
+// TestCheckpointingIsObservationOnly pins that enabling checkpoints
+// changes nothing about the campaign: same trace, same config apart from
+// CheckpointDir, identical rounds and incumbent.
+func TestCheckpointingIsObservationOnly(t *testing.T) {
+	tr := testTrace(t, 1, 2, 3, 9*time.Hour, 11)
+	plain, err := New(ckptTestConfig(""))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	repPlain, err := RunSim(plain, tr, SimConfig{})
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	ckpted, err := New(ckptTestConfig(t.TempDir()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	repCkpt, err := RunSim(ckpted, tr, SimConfig{})
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	ckpted.ckptWG.Wait() // join the background writer before TempDir cleanup
+	roundsEqual(t, repCkpt.Rounds, repPlain.Rounds, "checkpointed controller")
+	if got, want := ckpted.Incumbent(), plain.Incumbent(); got != want {
+		t.Errorf("incumbent %+v, want %+v", got, want)
+	}
+}
+
+// TestPeriodicCheckpointCadence pins the telemetry-time trigger: with
+// CheckpointEvery = 1h over a 9h trace, Tick writes snapshots as the
+// telemetry clock advances, generations are contiguous, and Prune keeps
+// the directory bounded.
+func TestPeriodicCheckpointCadence(t *testing.T) {
+	tr := testTrace(t, 1, 2, 2, 9*time.Hour, 3)
+	dir := t.TempDir()
+	cfg := ckptTestConfig(dir)
+	cfg.CheckpointKeep = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := RunSim(c, tr, SimConfig{})
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	_ = rep
+	c.ckptWG.Wait() // periodic writes are asynchronous; join before reading the dir
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 || len(ents) > 2 {
+		t.Fatalf("directory holds %d checkpoints, want 1..2 (CheckpointKeep=2)", len(ents))
+	}
+	s, frep, err := ckpt.Restore(dir)
+	if err != nil || !frep.Restored {
+		t.Fatalf("Restore: %v (restored=%v)", err, frep.Restored)
+	}
+	// 9h of telemetry at a 1h cadence: several generations must have
+	// been cut, not just one final flush.
+	if s.Generation < 4 {
+		t.Fatalf("newest generation %d; a 9h trace at 1h cadence should cut more", s.Generation)
+	}
+}
+
+// TestCheckpointConcurrentIngest runs reporters and the tick loop on
+// separate goroutines with a tight checkpoint cadence, so background
+// snapshot encoders read their zero-copy shard-entry views while ingest
+// keeps appending past them. Under -race this pins the append-only
+// aliasing discipline; the final restore proves the concurrent writes
+// still produced a valid, complete checkpoint.
+func TestCheckpointConcurrentIngest(t *testing.T) {
+	tr := testTrace(t, 1, 4, 2, 24*time.Hour, 9)
+	rc := groupTrace(tr)
+	dir := t.TempDir()
+	cfg := ckptTestConfig(dir)
+	cfg.RoundEvery = 1 << 30 * time.Second // never round: shard slices only ever grow
+	cfg.CheckpointEvery = 30 * time.Minute
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	agents := registerAgents(t, c, rc)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(rc.agentIDs))
+	for _, id := range rc.agentIDs {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for _, ts := range rc.tsList {
+				batch := rc.groups[id][ts]
+				if len(batch) == 0 {
+					continue
+				}
+				if _, err := agents[id].Report(context.Background(), batch); err != nil {
+					errs <- fmt.Errorf("agent %s at t=%ds: %w", id, ts, err)
+					return
+				}
+			}
+		}(id)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for reporting := true; reporting; {
+		c.Tick()
+		select {
+		case <-done:
+			reporting = false
+		default:
+		}
+	}
+	c.Drain()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatalf("final Checkpoint: %v", err)
+	}
+	s, frep, err := ckpt.Restore(dir)
+	if err != nil || !frep.Restored {
+		t.Fatalf("Restore: %v (restored=%v)", err, frep.Restored)
+	}
+	if got := int(s.Counters.Ingested); got != len(tr.Entries) {
+		t.Errorf("final checkpoint ingested %d entries, want %d", got, len(tr.Entries))
+	}
+}
+
+// TestRestoreReconciliation pins agent re-registration semantics: a
+// restored agent's Register response carries its checkpointed params and
+// epoch, not the boot-time defaults.
+func TestRestoreReconciliation(t *testing.T) {
+	tr := testTrace(t, 1, 2, 3, 7*time.Hour, 5)
+	dir := t.TempDir()
+	cfg := ckptTestConfig(dir)
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := RunSim(c1, tr, SimConfig{}); err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	rounds := c1.Rounds()
+	if len(rounds) == 0 {
+		t.Fatal("campaign ran no rounds")
+	}
+	st1 := c1.Status()
+	if st1.Epoch == 0 {
+		t.Fatal("campaign never advanced the epoch; the test would prove nothing")
+	}
+	if _, err := c1.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	c2, rep, err := Restore(cfg)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !rep.Restored || rep.Agents != len(st1.Agents) || rep.Rounds != len(rounds) {
+		t.Fatalf("RestoreReport %+v, want restored with %d agents / %d rounds", rep, len(st1.Agents), len(rounds))
+	}
+	for _, as := range st1.Agents {
+		resp, err := c2.Register(RegisterRequest{AgentID: as.ID})
+		if err != nil {
+			t.Fatalf("re-register %s: %v", as.ID, err)
+		}
+		if resp.Params != as.Params || resp.Epoch != as.Epoch {
+			t.Errorf("agent %s resumed with (%+v, epoch %d), want (%+v, epoch %d)",
+				as.ID, resp.Params, resp.Epoch, as.Params, as.Epoch)
+		}
+	}
+	roundsEqual(t, c2.Rounds(), rounds, "restored history")
+	if got := c2.Incumbent(); got != c1.Incumbent() {
+		t.Errorf("incumbent %+v, want %+v", got, c1.Incumbent())
+	}
+	// The next generation continues the sequence instead of restarting
+	// at 1 and shadowing older files.
+	path, err := c2.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint after restore: %v", err)
+	}
+	if want := ckpt.FileName(rep.Generation + 1); filepath.Base(path) != want {
+		t.Errorf("post-restore checkpoint %q, want %q", filepath.Base(path), want)
+	}
+}
+
+// TestRestoreFallsBackWithAccounting damages the newest generation and
+// expects Restore to boot from the older one, reporting the skip.
+func TestRestoreFallsBackWithAccounting(t *testing.T) {
+	tr := testTrace(t, 1, 2, 2, 4*time.Hour, 9)
+	dir := t.TempDir()
+	cfg := ckptTestConfig(dir)
+	cfg.CheckpointDir = dir
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := RunSim(c1, tr, SimConfig{}); err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if _, err := c1.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint 1: %v", err)
+	}
+	p2, err := c1.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint 2: %v", err)
+	}
+	buf, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, buf[:len(buf)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, rep, err := Restore(cfg)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !rep.Restored || len(rep.Skipped) != 1 {
+		t.Fatalf("RestoreReport %+v, want restore with exactly one skip", rep)
+	}
+	if rep.File == filepath.Base(p2) {
+		t.Fatalf("Restore used the torn file %q", rep.File)
+	}
+	if got := c2.Incumbent(); got != c1.Incumbent() {
+		t.Errorf("incumbent %+v, want %+v", got, c1.Incumbent())
+	}
+}
+
+// TestCheckpointRefusedMidRound pins the safety rule: while a round owns
+// the cut window, Checkpoint must refuse rather than persist a snapshot
+// with the window silently missing.
+func TestCheckpointRefusedMidRound(t *testing.T) {
+	cfg := ckptTestConfig(t.TempDir())
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.mu.Lock()
+	c.roundInFlight = true
+	c.mu.Unlock()
+	if _, err := c.Checkpoint(); err != ErrRoundInFlight {
+		t.Fatalf("Checkpoint mid-round: %v, want ErrRoundInFlight", err)
+	}
+	c.mu.Lock()
+	c.roundInFlight = false
+	c.mu.Unlock()
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after round: %v", err)
+	}
+	// And without a directory the operation is an explicit error, not a
+	// silent no-op.
+	plain, err := New(ckptTestConfig(""))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := plain.Checkpoint(); err != ErrNoCheckpointDir {
+		t.Fatalf("Checkpoint without dir: %v, want ErrNoCheckpointDir", err)
+	}
+}

@@ -1,0 +1,822 @@
+// Package ckpt implements the control plane's durable checkpoint: a
+// versioned on-disk snapshot of everything a Controller has learned —
+// the agent registry (parameters, epochs, queued telemetry), the
+// sharded fleet snapshot, the open tuning window, the incumbent, the
+// round history, and the lifetime accounting counters — so a restarted
+// sdfmd resumes the campaign instead of forgetting days of tuning.
+//
+// The format follows the repo's tracestore/wire discipline: a magic +
+// version header, self-describing sections that are each
+// CRC32-Castagnoli-checksummed, columnar entry blocks shared with the
+// telemetry wire codec, and a bounds-checked decoder that survives
+// arbitrary bytes (it is fuzzed — FuzzDecodeCheckpoint). Snapshot
+// encoding is deterministic: the same state always produces the same
+// bytes, so checkpoint equality is state equality.
+//
+// # File layout (version 1)
+//
+//	magic    "SDFMCP" (6 bytes)
+//	version  uint16 LE
+//	gen      uint64 LE (checkpoint generation, monotonic per directory)
+//	sections uint32 LE (section count; every section exactly once)
+//	section* :=
+//	  id     uint8
+//	  length uint32 LE (payload bytes)
+//	  payload
+//	  crc    uint32 LE, CRC32-Castagnoli over id + length + payload
+//	EOF exactly after the last section
+//
+// Sections (all integers varint/uvarint, floats float64 LE, strings
+// uvarint length + bytes, telemetry entries in the wire columnar block):
+//
+//	1 incumbent  deployed params (K, S), assignment epoch
+//	2 window     open tuning window bounds + telemetry clock
+//	3 agents     registry columns: IDs, params, epochs, last-report
+//	             times, per-agent accounting, queue lengths, then one
+//	             entry block holding every queued entry in agent order
+//	4 shards     fleet snapshot: per shard, the job directory (sorted)
+//	             with per-job state, then the shard's window entries
+//	5 rounds     completed RoundReports, oldest first
+//	6 counters   lifetime ingest accounting totals
+//
+// A torn or damaged file — truncation, a bad CRC, counts that cannot
+// fit the bytes present — fails decode with an error wrapping
+// ErrCorrupt; Restore then falls back to the next-older generation with
+// accounting, so one bad write never costs more than one checkpoint
+// interval of learned state.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"sdfm/internal/controlplane/wire"
+	"sdfm/internal/core"
+	"sdfm/internal/telemetry"
+	"time"
+)
+
+// Magic opens every checkpoint file.
+const Magic = "SDFMCP"
+
+// Version is the layout version this package writes.
+const Version = 1
+
+// Sentinel errors callers can branch on with errors.Is.
+var (
+	// ErrCorrupt is returned for any checkpoint the decoder cannot
+	// accept: truncation, a failed CRC, or structural damage.
+	ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+	// ErrUnsupportedVersion is wrapped when a file carries a layout
+	// version this build does not understand.
+	ErrUnsupportedVersion = errors.New("ckpt: unsupported checkpoint version")
+)
+
+// Section IDs, one per columnar section.
+const (
+	secIncumbent = 1
+	secWindow    = 2
+	secAgents    = 3
+	secShards    = 4
+	secRounds    = 5
+	secCounters  = 6
+
+	numSections = 6
+)
+
+// Structural limits: a hostile file must not force unbounded work or
+// allocation before its claims are checked against the bytes present.
+const (
+	headerLen = 6 + 2 + 8 + 4 // magic, version, generation, section count
+
+	maxSectionBytes = 1 << 30
+	maxAgents       = 1 << 20
+	maxShards       = 1 << 16
+	maxJobsPerShard = 1 << 21
+	maxRounds       = 1 << 20
+	maxStringLen    = 1 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AgentSnap is one registered agent's durable state: its identity, the
+// parameter assignment it is running, and the telemetry it has reported
+// but the controller has not yet drained (so acked entries survive a
+// restart instead of dying in a queue).
+type AgentSnap struct {
+	ID      string
+	Params  core.Params
+	Epoch   int64
+	LastTS  int64
+	Reports uint64
+	Dropped uint64
+	Queue   []telemetry.Entry
+}
+
+// JobSnap is the fleet snapshot's per-job state.
+type JobSnap struct {
+	Key              telemetry.JobKey
+	LastTimestampSec int64
+	Intervals        int64
+	LastWSSPages     uint64
+	LastTotalPages   uint64
+}
+
+// ShardSnap is one fleet-snapshot shard: its job directory (sorted by
+// key, for deterministic encoding) and its slice of the open tuning
+// window, in ingest order.
+type ShardSnap struct {
+	Jobs    []JobSnap
+	Entries []telemetry.Entry
+}
+
+// Round mirrors controlplane.RoundReport's durable fields (the
+// transient per-stage health checks are not persisted, matching the
+// JSON representation).
+type Round struct {
+	Round          int64
+	WindowStartSec int64
+	WindowEndSec   int64
+	Entries        int64
+	Jobs           int64
+	TunerEvals     int64
+	Candidate      core.Params
+	Chosen         core.Params
+	Accepted       bool
+	RolledBackAt   string
+	Reason         string
+	Coverage       float64
+	P98Rate        float64
+	GapIntervals   int64
+	Completeness   float64
+	Err            string
+}
+
+// Counters are the controller's lifetime ingest accounting totals.
+type Counters struct {
+	Reports             uint64
+	Received            uint64
+	Ingested            uint64
+	DroppedBackpressure uint64
+	RejectedCorrupt     uint64
+	RejectedInvalid     uint64
+}
+
+// Snapshot is one checkpoint's portable content: everything needed to
+// boot a controller that continues the campaign byte-identically.
+type Snapshot struct {
+	// Generation numbers checkpoints within a directory; Restore picks
+	// the newest generation that decodes.
+	Generation uint64
+	// TelemetrySec is the newest telemetry timestamp the controller had
+	// ingested at snapshot time — the telemetry clock the checkpoint
+	// cadence runs on.
+	TelemetrySec int64
+	Incumbent    core.Params
+	Epoch        int64
+	// WindowStartSec/WindowMaxSec/WindowEntries are the open tuning
+	// window's bounds (WindowStartSec is -1 when the window is empty).
+	WindowStartSec int64
+	WindowMaxSec   int64
+	WindowEntries  int64
+	// Agents is the registry, sorted by ID.
+	Agents []AgentSnap
+	Shards []ShardSnap
+	Rounds []Round
+	// Counters holds the lifetime totals (per-agent accounting lives on
+	// the AgentSnaps).
+	Counters Counters
+}
+
+// QueuedEntries sums the agents' undrained queue depths.
+func (s *Snapshot) QueuedEntries() int {
+	n := 0
+	for i := range s.Agents {
+		n += len(s.Agents[i].Queue)
+	}
+	return n
+}
+
+// Encode appends the checkpoint encoding of s to dst and returns the
+// extended slice. Encoding is deterministic: equal snapshots produce
+// equal bytes.
+func Encode(dst []byte, s *Snapshot) ([]byte, error) {
+	dst = append(dst, Magic...)
+	dst = binary.LittleEndian.AppendUint16(dst, Version)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Generation)
+	dst = binary.LittleEndian.AppendUint32(dst, numSections)
+
+	var err error
+	var payload []byte
+	appendSection := func(id uint8, enc func([]byte) ([]byte, error)) {
+		if err != nil {
+			return
+		}
+		if payload, err = enc(payload[:0]); err != nil {
+			return
+		}
+		base := len(dst)
+		dst = append(dst, id)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+		dst = append(dst, payload...)
+		dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[base:], castagnoli))
+	}
+	appendSection(secIncumbent, s.appendIncumbent)
+	appendSection(secWindow, s.appendWindow)
+	appendSection(secAgents, s.appendAgents)
+	appendSection(secShards, s.appendShards)
+	appendSection(secRounds, s.appendRounds)
+	appendSection(secCounters, s.appendCounters)
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func appendParams(dst []byte, p core.Params) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.K))
+	return binary.AppendVarint(dst, int64(p.S))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// clampString keeps free-form text (round reasons, error strings) within
+// the decoder's string cap; truncation is deterministic, so it cannot
+// break checkpoint-equality arguments.
+func clampString(s string) string {
+	if len(s) > maxStringLen {
+		return s[:maxStringLen]
+	}
+	return s
+}
+
+func (s *Snapshot) appendIncumbent(dst []byte) ([]byte, error) {
+	dst = appendParams(dst, s.Incumbent)
+	return binary.AppendVarint(dst, s.Epoch), nil
+}
+
+func (s *Snapshot) appendWindow(dst []byte) ([]byte, error) {
+	dst = binary.AppendVarint(dst, s.WindowStartSec)
+	dst = binary.AppendVarint(dst, s.WindowMaxSec)
+	dst = binary.AppendVarint(dst, s.WindowEntries)
+	return binary.AppendVarint(dst, s.TelemetrySec), nil
+}
+
+func (s *Snapshot) appendAgents(dst []byte) ([]byte, error) {
+	if len(s.Agents) > maxAgents {
+		return nil, fmt.Errorf("ckpt: %d agents exceed the format limit", len(s.Agents))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.Agents)))
+	for i := range s.Agents {
+		if len(s.Agents[i].ID) > maxStringLen {
+			return nil, fmt.Errorf("ckpt: agent id is %d bytes", len(s.Agents[i].ID))
+		}
+		dst = appendString(dst, s.Agents[i].ID)
+	}
+	for i := range s.Agents {
+		dst = appendParams(dst, s.Agents[i].Params)
+	}
+	for i := range s.Agents {
+		dst = binary.AppendVarint(dst, s.Agents[i].Epoch)
+	}
+	for i := range s.Agents {
+		dst = binary.AppendVarint(dst, s.Agents[i].LastTS)
+	}
+	for i := range s.Agents {
+		dst = binary.AppendUvarint(dst, s.Agents[i].Reports)
+	}
+	for i := range s.Agents {
+		dst = binary.AppendUvarint(dst, s.Agents[i].Dropped)
+	}
+	queued := 0
+	for i := range s.Agents {
+		dst = binary.AppendUvarint(dst, uint64(len(s.Agents[i].Queue)))
+		queued += len(s.Agents[i].Queue)
+	}
+	// One columnar entry block for every queued entry, in agent order;
+	// the per-agent lengths above split it back apart on decode.
+	all := make([]telemetry.Entry, 0, queued)
+	for i := range s.Agents {
+		all = append(all, s.Agents[i].Queue...)
+	}
+	return wire.AppendEntryColumns(dst, all)
+}
+
+func (s *Snapshot) appendShards(dst []byte) ([]byte, error) {
+	if len(s.Shards) > maxShards {
+		return nil, fmt.Errorf("ckpt: %d shards exceed the format limit", len(s.Shards))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.Shards)))
+	for i := range s.Shards {
+		sh := &s.Shards[i]
+		if len(sh.Jobs) > maxJobsPerShard {
+			return nil, fmt.Errorf("ckpt: shard %d holds %d jobs", i, len(sh.Jobs))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(sh.Jobs)))
+		for j := range sh.Jobs {
+			dst = appendString(dst, sh.Jobs[j].Key.Cluster)
+			dst = appendString(dst, sh.Jobs[j].Key.Machine)
+			dst = appendString(dst, sh.Jobs[j].Key.Job)
+		}
+		for j := range sh.Jobs {
+			dst = binary.AppendVarint(dst, sh.Jobs[j].LastTimestampSec)
+		}
+		for j := range sh.Jobs {
+			dst = binary.AppendVarint(dst, sh.Jobs[j].Intervals)
+		}
+		for j := range sh.Jobs {
+			dst = binary.AppendUvarint(dst, sh.Jobs[j].LastWSSPages)
+		}
+		for j := range sh.Jobs {
+			dst = binary.AppendUvarint(dst, sh.Jobs[j].LastTotalPages)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(sh.Entries)))
+		var err error
+		if dst, err = wire.AppendEntryColumns(dst, sh.Entries); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func (s *Snapshot) appendRounds(dst []byte) ([]byte, error) {
+	if len(s.Rounds) > maxRounds {
+		return nil, fmt.Errorf("ckpt: %d rounds exceed the format limit", len(s.Rounds))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.Rounds)))
+	for i := range s.Rounds {
+		r := &s.Rounds[i]
+		dst = binary.AppendVarint(dst, r.Round)
+		dst = binary.AppendVarint(dst, r.WindowStartSec)
+		dst = binary.AppendVarint(dst, r.WindowEndSec)
+		dst = binary.AppendVarint(dst, r.Entries)
+		dst = binary.AppendVarint(dst, r.Jobs)
+		dst = binary.AppendVarint(dst, r.TunerEvals)
+		dst = appendParams(dst, r.Candidate)
+		dst = appendParams(dst, r.Chosen)
+		if r.Accepted {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendString(dst, clampString(r.RolledBackAt))
+		dst = appendString(dst, clampString(r.Reason))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Coverage))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.P98Rate))
+		dst = binary.AppendVarint(dst, r.GapIntervals)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Completeness))
+		dst = appendString(dst, clampString(r.Err))
+	}
+	return dst, nil
+}
+
+func (s *Snapshot) appendCounters(dst []byte) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, s.Counters.Reports)
+	dst = binary.AppendUvarint(dst, s.Counters.Received)
+	dst = binary.AppendUvarint(dst, s.Counters.Ingested)
+	dst = binary.AppendUvarint(dst, s.Counters.DroppedBackpressure)
+	dst = binary.AppendUvarint(dst, s.Counters.RejectedCorrupt)
+	return binary.AppendUvarint(dst, s.Counters.RejectedInvalid), nil
+}
+
+// cursor is a bounds-checked reader; every read reports truncation as
+// an error, never a panic.
+type cursor struct {
+	buf []byte
+	pos int
+}
+
+var errTruncated = fmt.Errorf("%w: truncated", ErrCorrupt)
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *cursor) varint() (int64, error) {
+	v, n := binary.Varint(c.buf[c.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *cursor) f64() (float64, error) {
+	if c.pos+8 > len(c.buf) {
+		return 0, errTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.buf[c.pos:]))
+	c.pos += 8
+	return v, nil
+}
+
+func (c *cursor) byte() (byte, error) {
+	if c.pos >= len(c.buf) {
+		return 0, errTruncated
+	}
+	b := c.buf[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string claims %d bytes", ErrCorrupt, n)
+	}
+	if n > uint64(len(c.buf)-c.pos) {
+		return "", errTruncated
+	}
+	s := string(c.buf[c.pos : c.pos+int(n)])
+	c.pos += int(n)
+	return s, nil
+}
+
+func (c *cursor) params() (core.Params, error) {
+	k, err := c.f64()
+	if err != nil {
+		return core.Params{}, err
+	}
+	ns, err := c.varint()
+	if err != nil {
+		return core.Params{}, err
+	}
+	return core.Params{K: k, S: time.Duration(ns)}, nil
+}
+
+// count reads a uvarint count and rejects claims that cannot fit the
+// remaining bytes (each counted element consumes at least minBytes) or
+// exceed the structural cap.
+func (c *cursor) count(max int, minBytes int, what string) (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("%w: %s count %d exceeds limit %d", ErrCorrupt, what, v, max)
+	}
+	if minBytes > 0 && v > uint64((len(c.buf)-c.pos)/minBytes) {
+		return 0, fmt.Errorf("%w: %d %s cannot fit %d bytes", ErrCorrupt, v, what, len(c.buf)-c.pos)
+	}
+	return int(v), nil
+}
+
+// entryBlock reads a wire columnar entry block of count entries.
+func (c *cursor) entryBlock(count int) ([]telemetry.Entry, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	entries, n, err := wire.DecodeEntryColumns(c.buf[c.pos:], count)
+	if err != nil {
+		return nil, fmt.Errorf("%w: entry block: %v", ErrCorrupt, err)
+	}
+	c.pos += n
+	return entries, nil
+}
+
+// Decode parses one checkpoint file. Any structural damage returns an
+// error wrapping ErrCorrupt (or ErrUnsupportedVersion for a future
+// layout); the function never panics on arbitrary input, and its
+// allocations are bounded by the input size.
+func Decode(buf []byte) (*Snapshot, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrCorrupt, len(buf))
+	}
+	if string(buf[:6]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(buf[6:]); v != Version {
+		return nil, fmt.Errorf("%w: file is version %d, this build reads %d", ErrUnsupportedVersion, v, Version)
+	}
+	s := &Snapshot{Generation: binary.LittleEndian.Uint64(buf[8:])}
+	nSections := binary.LittleEndian.Uint32(buf[16:])
+	if nSections != numSections {
+		return nil, fmt.Errorf("%w: %d sections, this layout has %d", ErrCorrupt, nSections, numSections)
+	}
+	pos := headerLen
+	seen := [numSections + 1]bool{}
+	for i := uint32(0); i < nSections; i++ {
+		if pos+1+4 > len(buf) {
+			return nil, errTruncated
+		}
+		id := buf[pos]
+		length := binary.LittleEndian.Uint32(buf[pos+1:])
+		if length > maxSectionBytes || int(length) > len(buf)-pos-1-4-4 {
+			return nil, fmt.Errorf("%w: section %d claims %d bytes", ErrCorrupt, id, length)
+		}
+		end := pos + 1 + 4 + int(length)
+		payload := buf[pos+1+4 : end]
+		want := binary.LittleEndian.Uint32(buf[end:])
+		if got := crc32.Checksum(buf[pos:end], castagnoli); got != want {
+			return nil, fmt.Errorf("%w: section %d CRC %#x, content digests to %#x", ErrCorrupt, id, want, got)
+		}
+		pos = end + 4
+		if id < 1 || id > numSections {
+			return nil, fmt.Errorf("%w: unknown section id %d", ErrCorrupt, id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: duplicate section id %d", ErrCorrupt, id)
+		}
+		seen[id] = true
+		var err error
+		switch id {
+		case secIncumbent:
+			err = s.decodeIncumbent(payload)
+		case secWindow:
+			err = s.decodeWindow(payload)
+		case secAgents:
+			err = s.decodeAgents(payload)
+		case secShards:
+			err = s.decodeShards(payload)
+		case secRounds:
+			err = s.decodeRounds(payload)
+		case secCounters:
+			err = s.decodeCounters(payload)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrCorrupt, len(buf)-pos)
+	}
+	for id := 1; id <= numSections; id++ {
+		if !seen[id] {
+			return nil, fmt.Errorf("%w: missing section id %d", ErrCorrupt, id)
+		}
+	}
+	return s, nil
+}
+
+// sectionDone rejects trailing bytes inside a section payload.
+func sectionDone(c *cursor, id int) error {
+	if c.pos != len(c.buf) {
+		return fmt.Errorf("%w: %d trailing bytes in section %d", ErrCorrupt, len(c.buf)-c.pos, id)
+	}
+	return nil
+}
+
+func (s *Snapshot) decodeIncumbent(payload []byte) (err error) {
+	c := &cursor{buf: payload}
+	if s.Incumbent, err = c.params(); err != nil {
+		return err
+	}
+	if s.Epoch, err = c.varint(); err != nil {
+		return err
+	}
+	return sectionDone(c, secIncumbent)
+}
+
+func (s *Snapshot) decodeWindow(payload []byte) (err error) {
+	c := &cursor{buf: payload}
+	if s.WindowStartSec, err = c.varint(); err != nil {
+		return err
+	}
+	if s.WindowMaxSec, err = c.varint(); err != nil {
+		return err
+	}
+	if s.WindowEntries, err = c.varint(); err != nil {
+		return err
+	}
+	if s.WindowEntries < 0 {
+		return fmt.Errorf("%w: negative window entry count %d", ErrCorrupt, s.WindowEntries)
+	}
+	if s.TelemetrySec, err = c.varint(); err != nil {
+		return err
+	}
+	return sectionDone(c, secWindow)
+}
+
+func (s *Snapshot) decodeAgents(payload []byte) (err error) {
+	c := &cursor{buf: payload}
+	n, err := c.count(maxAgents, 1, "agents")
+	if err != nil {
+		return err
+	}
+	var agents []AgentSnap
+	if n > 0 {
+		agents = make([]AgentSnap, n)
+	}
+	for i := range agents {
+		if agents[i].ID, err = c.str(); err != nil {
+			return err
+		}
+	}
+	for i := range agents {
+		if agents[i].Params, err = c.params(); err != nil {
+			return err
+		}
+	}
+	for i := range agents {
+		if agents[i].Epoch, err = c.varint(); err != nil {
+			return err
+		}
+	}
+	for i := range agents {
+		if agents[i].LastTS, err = c.varint(); err != nil {
+			return err
+		}
+	}
+	for i := range agents {
+		if agents[i].Reports, err = c.uvarint(); err != nil {
+			return err
+		}
+	}
+	for i := range agents {
+		if agents[i].Dropped, err = c.uvarint(); err != nil {
+			return err
+		}
+	}
+	qlens := make([]int, n)
+	queued := 0
+	for i := range agents {
+		if qlens[i], err = c.count(1<<31-1, 0, "queued entries"); err != nil {
+			return err
+		}
+		queued += qlens[i]
+	}
+	all, err := c.entryBlock(queued)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for i := range agents {
+		if qlens[i] > 0 {
+			agents[i].Queue = all[off : off+qlens[i] : off+qlens[i]]
+		}
+		off += qlens[i]
+	}
+	s.Agents = agents
+	return sectionDone(c, secAgents)
+}
+
+func (s *Snapshot) decodeShards(payload []byte) (err error) {
+	c := &cursor{buf: payload}
+	n, err := c.count(maxShards, 1, "shards")
+	if err != nil {
+		return err
+	}
+	var shards []ShardSnap
+	if n > 0 {
+		shards = make([]ShardSnap, n)
+	}
+	for i := range shards {
+		sh := &shards[i]
+		nJobs, err := c.count(maxJobsPerShard, 1, "shard jobs")
+		if err != nil {
+			return err
+		}
+		var jobs []JobSnap
+		if nJobs > 0 {
+			jobs = make([]JobSnap, nJobs)
+		}
+		for j := range jobs {
+			if jobs[j].Key.Cluster, err = c.str(); err != nil {
+				return err
+			}
+			if jobs[j].Key.Machine, err = c.str(); err != nil {
+				return err
+			}
+			if jobs[j].Key.Job, err = c.str(); err != nil {
+				return err
+			}
+		}
+		for j := range jobs {
+			if jobs[j].LastTimestampSec, err = c.varint(); err != nil {
+				return err
+			}
+		}
+		for j := range jobs {
+			if jobs[j].Intervals, err = c.varint(); err != nil {
+				return err
+			}
+		}
+		for j := range jobs {
+			if jobs[j].LastWSSPages, err = c.uvarint(); err != nil {
+				return err
+			}
+		}
+		for j := range jobs {
+			if jobs[j].LastTotalPages, err = c.uvarint(); err != nil {
+				return err
+			}
+		}
+		sh.Jobs = jobs
+		nEntries, err := c.count(1<<31-1, 0, "shard entries")
+		if err != nil {
+			return err
+		}
+		if sh.Entries, err = c.entryBlock(nEntries); err != nil {
+			return err
+		}
+	}
+	s.Shards = shards
+	return sectionDone(c, secShards)
+}
+
+func (s *Snapshot) decodeRounds(payload []byte) (err error) {
+	c := &cursor{buf: payload}
+	n, err := c.count(maxRounds, 1, "rounds")
+	if err != nil {
+		return err
+	}
+	var rounds []Round
+	if n > 0 {
+		rounds = make([]Round, n)
+	}
+	for i := range rounds {
+		r := &rounds[i]
+		if r.Round, err = c.varint(); err != nil {
+			return err
+		}
+		if r.WindowStartSec, err = c.varint(); err != nil {
+			return err
+		}
+		if r.WindowEndSec, err = c.varint(); err != nil {
+			return err
+		}
+		if r.Entries, err = c.varint(); err != nil {
+			return err
+		}
+		if r.Jobs, err = c.varint(); err != nil {
+			return err
+		}
+		if r.TunerEvals, err = c.varint(); err != nil {
+			return err
+		}
+		if r.Candidate, err = c.params(); err != nil {
+			return err
+		}
+		if r.Chosen, err = c.params(); err != nil {
+			return err
+		}
+		b, err := c.byte()
+		if err != nil {
+			return err
+		}
+		if b > 1 {
+			return fmt.Errorf("%w: round %d accepted flag %d", ErrCorrupt, i, b)
+		}
+		r.Accepted = b == 1
+		if r.RolledBackAt, err = c.str(); err != nil {
+			return err
+		}
+		if r.Reason, err = c.str(); err != nil {
+			return err
+		}
+		if r.Coverage, err = c.f64(); err != nil {
+			return err
+		}
+		if r.P98Rate, err = c.f64(); err != nil {
+			return err
+		}
+		if r.GapIntervals, err = c.varint(); err != nil {
+			return err
+		}
+		if r.Completeness, err = c.f64(); err != nil {
+			return err
+		}
+		if r.Err, err = c.str(); err != nil {
+			return err
+		}
+	}
+	s.Rounds = rounds
+	return sectionDone(c, secRounds)
+}
+
+func (s *Snapshot) decodeCounters(payload []byte) (err error) {
+	c := &cursor{buf: payload}
+	if s.Counters.Reports, err = c.uvarint(); err != nil {
+		return err
+	}
+	if s.Counters.Received, err = c.uvarint(); err != nil {
+		return err
+	}
+	if s.Counters.Ingested, err = c.uvarint(); err != nil {
+		return err
+	}
+	if s.Counters.DroppedBackpressure, err = c.uvarint(); err != nil {
+		return err
+	}
+	if s.Counters.RejectedCorrupt, err = c.uvarint(); err != nil {
+		return err
+	}
+	if s.Counters.RejectedInvalid, err = c.uvarint(); err != nil {
+		return err
+	}
+	return sectionDone(c, secCounters)
+}

@@ -1,0 +1,172 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File naming: zero-padded decimal generations sort lexicographically,
+// so a plain directory listing is already oldest→newest.
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".sdfmcp"
+	tmpSuffix  = ".tmp"
+)
+
+// FileName returns the checkpoint file name for a generation.
+func FileName(generation uint64) string {
+	return fmt.Sprintf("%s%016d%s", filePrefix, generation, fileSuffix)
+}
+
+// WriteFile atomically persists s to dir as its generation's checkpoint:
+// the encoding is written to a temporary file, synced, and renamed into
+// place, so a crash mid-write leaves at worst a stray .tmp that Restore
+// skips (with accounting) and the next WriteFile replaces.
+func WriteFile(dir string, s *Snapshot) (string, error) {
+	buf, err := Encode(nil, s)
+	if err != nil {
+		return "", err
+	}
+	name := FileName(s.Generation)
+	tmp := filepath.Join(dir, name+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	final := filepath.Join(dir, name)
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return final, nil
+}
+
+// Prune deletes all but the newest keep checkpoint files in dir
+// (leftover temporaries are always removed). It returns the number of
+// files deleted; missing directories prune to nothing.
+func Prune(dir string, keep int) (int, error) {
+	names, tmps, err := listDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	deleted := 0
+	for _, t := range tmps {
+		if os.Remove(filepath.Join(dir, t)) == nil {
+			deleted++
+		}
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if len(names) > keep {
+		for _, n := range names[:len(names)-keep] {
+			if err := os.Remove(filepath.Join(dir, n)); err != nil {
+				return deleted, err
+			}
+			deleted++
+		}
+	}
+	return deleted, nil
+}
+
+// SkippedFile records one checkpoint file Restore could not use and why,
+// so recoveries that had to fall back are visible to operators.
+type SkippedFile struct {
+	Name string
+	Err  error
+}
+
+// RestoreReport accounts for a restore scan: which file (if any) booted
+// the snapshot and everything that was passed over on the way there.
+type RestoreReport struct {
+	// Restored is false when dir held no usable checkpoint (fresh boot).
+	Restored bool
+	// File is the basename of the checkpoint that decoded, "" if none.
+	File string
+	// Generation echoes the restored snapshot's generation.
+	Generation uint64
+	// Skipped lists newer files that failed to decode (torn writes, bad
+	// CRCs) plus any stray temporaries, newest first.
+	Skipped []SkippedFile
+}
+
+// Restore scans dir newest-first and returns the first checkpoint that
+// decodes. Corrupt or torn files are skipped with accounting, falling
+// back to older generations; an empty or missing directory is a fresh
+// boot (nil snapshot, Restored=false), not an error.
+func Restore(dir string) (*Snapshot, RestoreReport, error) {
+	var rep RestoreReport
+	names, tmps, err := listDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, rep, nil
+		}
+		return nil, rep, err
+	}
+	for _, t := range tmps {
+		rep.Skipped = append(rep.Skipped, SkippedFile{Name: t, Err: errors.New("ckpt: interrupted write (temporary file)")})
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		name := names[i]
+		buf, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			rep.Skipped = append(rep.Skipped, SkippedFile{Name: name, Err: err})
+			continue
+		}
+		s, err := Decode(buf)
+		if err != nil {
+			rep.Skipped = append(rep.Skipped, SkippedFile{Name: name, Err: err})
+			continue
+		}
+		rep.Restored = true
+		rep.File = name
+		rep.Generation = s.Generation
+		return s, rep, nil
+	}
+	return nil, rep, nil
+}
+
+// listDir returns dir's checkpoint file names sorted oldest→newest,
+// plus any leftover temporaries.
+func listDir(dir string) (names, tmps []string, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		switch {
+		case strings.HasPrefix(n, filePrefix) && strings.HasSuffix(n, fileSuffix):
+			names = append(names, n)
+		case strings.HasPrefix(n, filePrefix) && strings.HasSuffix(n, tmpSuffix):
+			tmps = append(tmps, n)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(tmps)
+	return names, tmps, nil
+}

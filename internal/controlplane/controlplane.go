@@ -114,6 +114,19 @@ type Config struct {
 	// fully in parallel. The stripe count never affects round decisions —
 	// Tick drains in sorted-agent order regardless.
 	Stripes int
+	// CheckpointDir, when set, enables durable state: the controller
+	// writes atomic snapshot files (internal/controlplane/ckpt) there and
+	// Restore boots from the newest valid one. Empty disables
+	// checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the telemetry-time cadence between snapshots: a
+	// checkpoint is cut when the ingested telemetry clock has advanced
+	// this much past the previous snapshot's clock (default RoundEvery).
+	// Like rounds, checkpoints never trigger on the wall clock.
+	CheckpointEvery time.Duration
+	// CheckpointKeep bounds the checkpoint generations retained on disk;
+	// older files are pruned after each write (default 4).
+	CheckpointKeep int
 	// Obs, when set, exports sdfm_cp_* metrics. All controller metric
 	// writes happen under the control mutex; Controller.RenderMetrics
 	// snapshots the exposition into a buffer under that mutex and writes
@@ -149,6 +162,12 @@ func (c *Config) fillDefaults() {
 	if c.RoundEvery == 0 {
 		c.RoundEvery = 6 * time.Hour
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = c.RoundEvery
+	}
+	if c.CheckpointKeep == 0 {
+		c.CheckpointKeep = 4
+	}
 	if c.QueueCap == 0 {
 		c.QueueCap = 8192
 	}
@@ -178,6 +197,12 @@ func (c Config) Validate() error {
 	}
 	if c.RoundEvery < 0 {
 		return fmt.Errorf("controlplane: negative RoundEvery %v", c.RoundEvery)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("controlplane: negative CheckpointEvery %v", c.CheckpointEvery)
+	}
+	if c.CheckpointKeep < 0 {
+		return fmt.Errorf("controlplane: negative CheckpointKeep %d", c.CheckpointKeep)
 	}
 	if c.QueueCap < 0 || c.BatchSize < 0 || c.Shards < 0 || c.Stripes < 0 {
 		return fmt.Errorf("controlplane: negative queue/batch/shard/stripe size (%d/%d/%d/%d)",
@@ -257,6 +282,10 @@ type cpMetrics struct {
 	complete    *obs.Gauge
 	coverage    *obs.Gauge
 	p98         *obs.Gauge
+	ckptWrites  *obs.Counter
+	ckptErrors  *obs.Counter
+	ckptSkipped *obs.Counter
+	ckptGen     *obs.Gauge
 }
 
 // Controller is the fleet control plane: lock-striped agent registry,
@@ -292,6 +321,25 @@ type Controller struct {
 	roundInFlight bool
 	rounds        []RoundReport
 
+	// telemetryMax is the newest telemetry timestamp ever ingested — the
+	// monotonic telemetry clock checkpoints are paced by (windowMax
+	// resets every round; this never does). ckptBase is that clock's
+	// value at the last checkpoint (-1 before any telemetry), ckptGen the
+	// last generation written or restored.
+	telemetryMax int64
+	ckptBase     int64
+	ckptGen      uint64
+	ckptEverySec int64
+
+	// Periodic checkpoint writes run on a background goroutine so the
+	// tick/drain path never stalls on encode or fsync. ckptSchedMu
+	// serializes checkpoint scheduling (it is taken before the control
+	// mutex, never after); ckptWG tracks the single in-flight writer. A
+	// new write joins the previous one before launching, so generations
+	// land on disk in order and at most one writer ever runs.
+	ckptSchedMu sync.Mutex
+	ckptWG      sync.WaitGroup
+
 	// Tick-side lifetime counters (stripe-side ones live on the stripes).
 	nIngested, nCorrupt, nInvalid uint64
 
@@ -311,13 +359,19 @@ func New(cfg Config) (*Controller, error) {
 	}
 	cfg.fillDefaults()
 	cfg.Tuner.Obs = nil // see Config.Tuner: tuner instruments would race scrapes
+	if err := ensureCheckpointDir(cfg.CheckpointDir); err != nil {
+		return nil, err
+	}
 	c := &Controller{
-		cfg:         cfg,
-		roundSec:    int64(cfg.RoundEvery / time.Second),
-		stripes:     make([]stripe, cfg.Stripes),
-		shards:      make([]shard, cfg.Shards),
-		incumbent:   cfg.Incumbent,
-		windowStart: -1,
+		cfg:          cfg,
+		roundSec:     int64(cfg.RoundEvery / time.Second),
+		stripes:      make([]stripe, cfg.Stripes),
+		shards:       make([]shard, cfg.Shards),
+		incumbent:    cfg.Incumbent,
+		windowStart:  -1,
+		telemetryMax: -1,
+		ckptBase:     -1,
+		ckptEverySec: checkpointEverySeconds(cfg.CheckpointEvery),
 	}
 	for i := range c.stripes {
 		c.stripes[i].agents = make(map[string]*agentState)
@@ -346,6 +400,10 @@ func New(cfg Config) (*Controller, error) {
 			complete:    o.Gauge("sdfm_cp_round_completeness", "Observed/(observed+missing) intervals in the last round's window."),
 			coverage:    o.Gauge("sdfm_cp_round_coverage", "Best-candidate coverage in the last round."),
 			p98:         o.Gauge("sdfm_cp_round_p98_rate", "Best-candidate p98 promotion rate in the last round."),
+			ckptWrites:  o.Counter("sdfm_cp_ckpt_writes_total", "Checkpoint snapshots written."),
+			ckptErrors:  o.Counter("sdfm_cp_ckpt_errors_total", "Checkpoint write or prune failures."),
+			ckptSkipped: o.Counter("sdfm_cp_ckpt_restore_skipped_total", "Checkpoint files skipped during restore (torn or corrupt)."),
+			ckptGen:     o.Gauge("sdfm_cp_ckpt_generation", "Newest checkpoint generation written or restored."),
 		}
 		c.m.deployedK.Set(c.incumbent.K)
 		c.m.deployedS.Set(c.incumbent.S.Seconds())
@@ -496,6 +554,10 @@ type TickReport struct {
 	// a tuning round was executed.
 	RoundRan bool
 	Round    *RoundReport
+	// Checkpointed reports whether this tick's telemetry clock crossed
+	// CheckpointEvery and a snapshot was cut (the file write completes
+	// asynchronously; failures are accounted in sdfm_cp_ckpt_errors_total).
+	Checkpointed bool
 }
 
 // Tick drains agent queues into the sharded fleet snapshot — at most
@@ -555,6 +617,9 @@ func (c *Controller) Tick() TickReport {
 			rep.RoundRan = true
 			rep.Round = &rr
 		}
+	}
+	if c.cfg.CheckpointDir != "" {
+		rep.Checkpointed = c.maybeCheckpoint()
 	}
 	return rep
 }
@@ -616,6 +681,14 @@ func (c *Controller) ingestLocked(e telemetry.Entry) {
 		c.windowMax = e.TimestampSec
 	} else if e.TimestampSec > c.windowMax {
 		c.windowMax = e.TimestampSec
+	}
+	if e.TimestampSec > c.telemetryMax {
+		c.telemetryMax = e.TimestampSec
+	}
+	if c.ckptBase < 0 {
+		// First telemetry ever: start the checkpoint cadence here, the
+		// same way the round cadence starts at the window's first entry.
+		c.ckptBase = e.TimestampSec
 	}
 	c.windowEntries++
 	c.nIngested++

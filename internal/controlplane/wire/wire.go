@@ -121,58 +121,106 @@ func AppendReportBatch(dst []byte, agentID string, entries []telemetry.Entry) ([
 	dst = binary.AppendUvarint(dst, uint64(len(agentID)))
 	dst = append(dst, agentID...)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(entries)))
-
 	if len(entries) > 0 {
-		// Batch-local job directory in first-seen order. A linear scan
-		// over a small stack-backed directory instead of a map: report
-		// batches come from one machine and span a handful of jobs, and
-		// the scan keeps the steady-state encode path allocation-free
-		// (the directory spills to the heap only past 64 distinct jobs).
-		var dirBuf [64]telemetry.JobKey
-		dir := dirBuf[:0]
-		for i := range entries {
-			if dirOrdinal(dir, entries[i].Key) < 0 {
-				dir = append(dir, entries[i].Key)
-			}
-		}
-		dst = binary.AppendUvarint(dst, uint64(len(dir)))
-		for _, k := range dir {
-			dst = appendString(dst, k.Cluster)
-			dst = appendString(dst, k.Machine)
-			dst = appendString(dst, k.Job)
-		}
-		for i := range entries { // job index column
-			dst = binary.AppendUvarint(dst, uint64(dirOrdinal(dir, entries[i].Key)))
-		}
-		prev := int64(0) // timestamp column, delta-coded
-		for i := range entries {
-			if i == 0 {
-				prev = entries[0].TimestampSec
-				dst = binary.AppendVarint(dst, prev)
-				continue
-			}
-			dst = binary.AppendVarint(dst, entries[i].TimestampSec-prev)
-			prev = entries[i].TimestampSec
-		}
-		for i := range entries {
-			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(entries[i].IntervalMinutes))
-		}
-		for i := range entries {
-			dst = binary.AppendUvarint(dst, entries[i].WSSPages)
-		}
-		for i := range entries {
-			dst = binary.AppendUvarint(dst, entries[i].TotalPages)
-		}
-		dst = appendTails(dst, entries, func(e *telemetry.Entry) []uint64 { return e.ColdTails })
-		dst = appendTails(dst, entries, func(e *telemetry.Entry) []uint64 { return e.PromoTails })
-		for i := range entries {
-			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(entries[i].CompressibleFrac))
-		}
-		for i := range entries {
-			dst = binary.LittleEndian.AppendUint64(dst, entries[i].Checksum)
-		}
+		dst = appendEntryColumns(dst, entries)
 	}
 	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[base:], castagnoli)), nil
+}
+
+// AppendEntryColumns appends the columnar encoding of entries — job
+// directory, then one column per field — to dst and returns the extended
+// slice. This is the report frame's payload block, exported so other
+// on-disk formats (the control plane checkpoint) reuse the same
+// fuzz-hardened layout; the entry count is not part of the block and
+// must be carried by the caller's own framing. Entries are encoded
+// verbatim, stale checksums included.
+func AppendEntryColumns(dst []byte, entries []telemetry.Entry) ([]byte, error) {
+	for i := range entries {
+		if len(entries[i].ColdTails) > maxTailsPerEntry || len(entries[i].PromoTails) > maxTailsPerEntry {
+			return dst, fmt.Errorf("%w: entry %d has %d/%d tails", ErrTooLarge,
+				i, len(entries[i].ColdTails), len(entries[i].PromoTails))
+		}
+	}
+	if len(entries) == 0 {
+		return dst, nil
+	}
+	return appendEntryColumns(dst, entries), nil
+}
+
+// appendEntryColumns writes the columnar payload block. Callers have
+// already validated the per-entry limits.
+func appendEntryColumns(dst []byte, entries []telemetry.Entry) []byte {
+	// Batch-local job directory in first-seen order. A linear scan over a
+	// small stack-backed directory instead of a map: report batches come
+	// from one machine and span a handful of jobs, and the scan keeps the
+	// steady-state encode path allocation-free. Past 64 distinct jobs
+	// (checkpoint shards spanning whole clusters) a map takes over with
+	// the same first-seen order, so the bytes are identical either way.
+	var dirBuf [64]telemetry.JobKey
+	dir := dirBuf[:0]
+	var dirIdx map[telemetry.JobKey]int
+	ordinal := func(k telemetry.JobKey) int {
+		if dirIdx != nil {
+			if i, ok := dirIdx[k]; ok {
+				return i
+			}
+			return -1
+		}
+		return dirOrdinal(dir, k)
+	}
+	for i := range entries {
+		k := entries[i].Key
+		if ordinal(k) >= 0 {
+			continue
+		}
+		if dirIdx == nil && len(dir) == len(dirBuf) {
+			dirIdx = make(map[telemetry.JobKey]int, 4*len(dir))
+			for j := range dir {
+				dirIdx[dir[j]] = j
+			}
+		}
+		if dirIdx != nil {
+			dirIdx[k] = len(dir)
+		}
+		dir = append(dir, k)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(dir)))
+	for _, k := range dir {
+		dst = appendString(dst, k.Cluster)
+		dst = appendString(dst, k.Machine)
+		dst = appendString(dst, k.Job)
+	}
+	for i := range entries { // job index column
+		dst = binary.AppendUvarint(dst, uint64(ordinal(entries[i].Key)))
+	}
+	prev := int64(0) // timestamp column, delta-coded
+	for i := range entries {
+		if i == 0 {
+			prev = entries[0].TimestampSec
+			dst = binary.AppendVarint(dst, prev)
+			continue
+		}
+		dst = binary.AppendVarint(dst, entries[i].TimestampSec-prev)
+		prev = entries[i].TimestampSec
+	}
+	for i := range entries {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(entries[i].IntervalMinutes))
+	}
+	for i := range entries {
+		dst = binary.AppendUvarint(dst, entries[i].WSSPages)
+	}
+	for i := range entries {
+		dst = binary.AppendUvarint(dst, entries[i].TotalPages)
+	}
+	dst = appendTails(dst, entries, func(e *telemetry.Entry) []uint64 { return e.ColdTails })
+	dst = appendTails(dst, entries, func(e *telemetry.Entry) []uint64 { return e.PromoTails })
+	for i := range entries {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(entries[i].CompressibleFrac))
+	}
+	for i := range entries {
+		dst = binary.LittleEndian.AppendUint64(dst, entries[i].Checksum)
+	}
+	return dst
 }
 
 // dirOrdinal returns k's position in the directory, or -1 when absent.
@@ -301,34 +349,71 @@ func DecodeReportBatch(buf []byte) (agentID string, entries []telemetry.Entry, e
 	if count > maxBatchEntries || count*minEntryBytes > len(body)-c.pos {
 		return "", nil, fmt.Errorf("%w: %d entries cannot fit %d payload bytes", ErrCorrupt, count, len(body)-c.pos)
 	}
-
-	nJobs, err := c.uvarint()
-	if err != nil {
+	if entries, err = decodeEntryColumns(c, count); err != nil {
 		return "", nil, err
 	}
+	if c.pos != len(body) {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrCorrupt, len(body)-c.pos)
+	}
+	return agentID, entries, nil
+}
+
+// DecodeEntryColumns decodes count entries from the columnar payload
+// block at the head of buf — the counterpart of AppendEntryColumns —
+// and returns the number of bytes consumed. Every read is
+// bounds-checked: a count that cannot fit the bytes present, or any
+// structural damage inside the block, returns an error wrapping
+// ErrCorrupt rather than panicking or over-allocating (allocation is
+// proportional to len(buf), never to a claimed count).
+func DecodeEntryColumns(buf []byte, count int) ([]telemetry.Entry, int, error) {
+	if count < 0 {
+		return nil, 0, fmt.Errorf("%w: negative entry count %d", ErrCorrupt, count)
+	}
+	if count == 0 {
+		return nil, 0, nil
+	}
+	if int64(count)*minEntryBytes > int64(len(buf)) {
+		return nil, 0, fmt.Errorf("%w: %d entries cannot fit %d payload bytes", ErrCorrupt, count, len(buf))
+	}
+	c := &cursor{buf: buf}
+	entries, err := decodeEntryColumns(c, count)
+	if err != nil {
+		return nil, 0, err
+	}
+	return entries, c.pos, nil
+}
+
+// decodeEntryColumns reads one columnar payload block from c. The caller
+// has already bounded count against the bytes present.
+func decodeEntryColumns(c *cursor, count int) (entries []telemetry.Entry, err error) {
+	body := c.buf
+	nJobs, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
 	if nJobs == 0 || nJobs > uint64(count) {
-		return "", nil, fmt.Errorf("%w: directory claims %d jobs for %d entries", ErrCorrupt, nJobs, count)
+		return nil, fmt.Errorf("%w: directory claims %d jobs for %d entries", ErrCorrupt, nJobs, count)
 	}
 	jobs := make([]telemetry.JobKey, nJobs)
 	for i := range jobs {
 		if jobs[i].Cluster, err = c.str(); err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		if jobs[i].Machine, err = c.str(); err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		if jobs[i].Job, err = c.str(); err != nil {
-			return "", nil, err
+			return nil, err
 		}
 	}
 	entries = make([]telemetry.Entry, count)
 	for i := range entries {
 		idx, err := c.uvarint()
 		if err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		if idx >= nJobs {
-			return "", nil, fmt.Errorf("%w: job index %d out of directory", ErrCorrupt, idx)
+			return nil, fmt.Errorf("%w: job index %d out of directory", ErrCorrupt, idx)
 		}
 		entries[i].Key = jobs[idx]
 	}
@@ -336,7 +421,7 @@ func DecodeReportBatch(buf []byte) (agentID string, entries []telemetry.Entry, e
 	for i := range entries {
 		d, err := c.varint()
 		if err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		if i == 0 {
 			ts = d
@@ -348,18 +433,18 @@ func DecodeReportBatch(buf []byte) (agentID string, entries []telemetry.Entry, e
 	for i := range entries {
 		v, err := c.uint64()
 		if err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		entries[i].IntervalMinutes = math.Float64frombits(v)
 	}
 	for i := range entries {
 		if entries[i].WSSPages, err = c.uvarint(); err != nil {
-			return "", nil, err
+			return nil, err
 		}
 	}
 	for i := range entries {
 		if entries[i].TotalPages, err = c.uvarint(); err != nil {
-			return "", nil, err
+			return nil, err
 		}
 	}
 	// Tail columns grow one shared arena; subslices are cut only after
@@ -381,15 +466,15 @@ func DecodeReportBatch(buf []byte) (agentID string, entries []telemetry.Entry, e
 		for i := 0; i < count; i++ {
 			n, err := c.uvarint()
 			if err != nil {
-				return "", nil, err
+				return nil, err
 			}
 			if n > maxTailsPerEntry || n > uint64(len(body)-c.pos) {
-				return "", nil, fmt.Errorf("%w: entry claims %d tail sums", ErrCorrupt, n)
+				return nil, fmt.Errorf("%w: entry claims %d tail sums", ErrCorrupt, n)
 			}
 			for j := uint64(0); j < n; j++ {
 				v, err := c.uvarint()
 				if err != nil {
-					return "", nil, err
+					return nil, err
 				}
 				arena = append(arena, v)
 			}
@@ -403,17 +488,14 @@ func DecodeReportBatch(buf []byte) (agentID string, entries []telemetry.Entry, e
 	for i := range entries {
 		v, err := c.uint64()
 		if err != nil {
-			return "", nil, err
+			return nil, err
 		}
 		entries[i].CompressibleFrac = math.Float64frombits(v)
 	}
 	for i := range entries {
 		if entries[i].Checksum, err = c.uint64(); err != nil {
-			return "", nil, err
+			return nil, err
 		}
 	}
-	if c.pos != len(body) {
-		return "", nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrCorrupt, len(body)-c.pos)
-	}
-	return agentID, entries, nil
+	return entries, nil
 }

@@ -468,6 +468,9 @@ type (
 	ControlPlaneSimConfig = controlplane.SimConfig
 	// ControlPlaneSimReport summarizes a loopback fleet run.
 	ControlPlaneSimReport = controlplane.SimReport
+	// ControlPlaneRestoreReport summarizes a checkpoint restore: what was
+	// recovered and which torn/corrupt files were skipped on the way.
+	ControlPlaneRestoreReport = controlplane.RestoreReport
 )
 
 // ControlPlaneClient report body encodings.
@@ -483,6 +486,17 @@ const ControlPlaneWireContentType = wire.ContentType
 
 // NewControlPlane builds a fleet controller.
 func NewControlPlane(cfg ControlPlaneConfig) (*ControlPlane, error) { return controlplane.New(cfg) }
+
+// RestoreControlPlane boots a controller from the newest valid
+// checkpoint in cfg.CheckpointDir, skipping torn or corrupt generations
+// with accounting. An empty or missing directory (or an unset
+// CheckpointDir) is a fresh boot, not an error. Given the same shard
+// count and the same replayed telemetry, the restored controller's round
+// decisions and final incumbent are byte-identical to a controller that
+// never went down.
+func RestoreControlPlane(cfg ControlPlaneConfig) (*ControlPlane, ControlPlaneRestoreReport, error) {
+	return controlplane.Restore(cfg)
+}
 
 // NewControlPlaneAgent builds a node-side agent speaking over t.
 func NewControlPlaneAgent(id string, t ControlPlaneTransport) *ControlPlaneAgent {
@@ -553,6 +567,9 @@ var (
 	// ErrDraining: the control plane is shutting down and no longer
 	// accepts registrations or reports.
 	ErrDraining = controlplane.ErrDraining
+	// ErrNoCheckpointDir: a checkpoint was requested on a controller
+	// configured without a CheckpointDir.
+	ErrNoCheckpointDir = controlplane.ErrNoCheckpointDir
 )
 
 // Observability: the fleet-wide metrics and tracing layer. Deterministic
